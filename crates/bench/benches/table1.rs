@@ -1,0 +1,111 @@
+//! Criterion wall-clock benches, one group per Table-1 row plus the
+//! Euler tour (Lemma 2). These time the *simulation* of the distributed
+//! algorithms end-to-end on fixed instances; the experiment binary
+//! (`experiments`) reports the CONGEST-round counts that correspond to
+//! the paper's complexity column.
+
+use congest::tree::build_bfs_tree;
+use congest::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dist_mst::{boruvka::distributed_mst, euler::distributed_euler_tour};
+use lightgraph::generators;
+use lightnet::{doubling_spanner, light_spanner, net, shallow_light_tree};
+use sparse_spanner::baswana_sen::baswana_sen;
+
+fn bench_light_spanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/row1-light-spanner");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let g = generators::Family::ErdosRenyi.generate(n, 3);
+        group.bench_with_input(BenchmarkId::new("k2", n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                let (tau, _) = build_bfs_tree(&mut sim, 0);
+                light_spanner(&mut sim, &tau, 0, 2, 0.25, 1)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("baswana-sen-baseline", n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                baswana_sen(&mut sim, 2, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_slt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/row2-slt");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let g = generators::Family::ErdosRenyi.generate(n, 5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                let (tau, _) = build_bfs_tree(&mut sim, 0);
+                shallow_light_tree(&mut sim, &tau, 0, 0.5, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/row3-nets");
+    group.sample_size(10);
+    for &n in &[48usize, 96] {
+        let g = generators::Family::Geometric.generate(n, 7);
+        let scale = lightgraph::dijkstra::weighted_diameter_approx(&g) / 6;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                let (tau, _) = build_bfs_tree(&mut sim, 0);
+                net(&mut sim, &tau, scale.max(1), 0.5, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_doubling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/row4-doubling-spanner");
+    group.sample_size(10);
+    for &n in &[32usize, 64] {
+        let g = generators::Family::Geometric.generate(n, 9);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                let (tau, _) = build_bfs_tree(&mut sim, 0);
+                doubling_spanner(&mut sim, &tau, 0, 0.5, 1)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_euler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma2/euler-tour");
+    group.sample_size(10);
+    for &n in &[64usize, 256] {
+        let g = generators::Family::ErdosRenyi.generate(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                let (tau, _) = build_bfs_tree(&mut sim, 0);
+                let m = distributed_mst(&mut sim, &tau, 0, 1);
+                distributed_euler_tour(&mut sim, &tau, &m, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_light_spanner,
+    bench_slt,
+    bench_nets,
+    bench_doubling,
+    bench_euler
+);
+criterion_main!(benches);

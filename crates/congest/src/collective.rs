@@ -1,0 +1,340 @@
+//! Lemma-1 collectives on a BFS tree.
+//!
+//! Lemma 1 of the paper: if the vertices collectively hold `M` messages
+//! of `O(1)` words, all vertices can receive all messages within
+//! `O(M + D)` rounds. We realize the two directions separately:
+//!
+//! * [`broadcast`] — the root pipelines `M` items down the tree:
+//!   `M + height` rounds at cap 1.
+//! * [`converge`] — key-combining convergecast: every vertex contributes
+//!   keyed items, an associative combiner merges duplicates on the way
+//!   up, and the root ends with the combined map. Streams are emitted in
+//!   increasing key order with watermark tracking, so distinct keys
+//!   pipeline: `O(K + height)` rounds for `K` distinct keys crossing the
+//!   bottleneck edge.
+//! * [`gather`] — convergecast of *distinct* items (a thin wrapper).
+//!
+//! Together, `gather` + `broadcast` implement the paper's recurring
+//! "convergecast to rt, compute locally, broadcast the answer" pattern.
+
+use crate::message::{Message, Word};
+use crate::sim::{Ctx, Program, RunStats, Simulator};
+use crate::tree::BfsTree;
+use lightgraph::NodeId;
+use std::collections::BTreeMap;
+
+/// A keyed item: `(key, value)` where the value is two words. Keys are
+/// application-defined (cluster ids, packed id pairs, …).
+pub type Item = (Word, [Word; 2]);
+
+const TAG_ITEM: u64 = 1;
+const TAG_DONE: u64 = 2;
+
+// ---------------------------------------------------------------------
+// Broadcast
+// ---------------------------------------------------------------------
+
+struct BroadcastProgram {
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    /// Only the root holds items initially.
+    initial: Vec<Item>,
+    received: Vec<Item>,
+}
+
+impl Program for BroadcastProgram {
+    type Output = Vec<Item>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if self.parent.is_none() {
+            for &(k, [a, b]) in &self.initial {
+                for &c in &self.children.clone() {
+                    ctx.send(c, Message::words(&[TAG_ITEM, k, a, b]));
+                }
+            }
+            self.received = self.initial.clone();
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        for (_, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_ITEM);
+            let item = (msg.word(1), [msg.word(2), msg.word(3)]);
+            self.received.push(item);
+            for &c in &self.children.clone() {
+                ctx.send(c, msg.clone());
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<Item> {
+        self.received
+    }
+}
+
+/// Pipelines `items` from the tree root to every vertex.
+///
+/// Every vertex receives all items in the root's order. Takes
+/// `|items| + height` rounds at cap 1 (`O(M + D)`, Lemma 1).
+pub fn broadcast(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: Vec<Item>,
+) -> (Vec<Vec<Item>>, RunStats) {
+    let root = tree.root;
+    sim.run(|v, _| BroadcastProgram {
+        parent: tree.parent[v],
+        children: tree.children[v].clone(),
+        initial: if v == root { items.clone() } else { Vec::new() },
+        received: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Combining convergecast
+// ---------------------------------------------------------------------
+
+struct ConvergeProgram<C> {
+    parent: Option<NodeId>,
+    /// Frontier per child: smallest key the child may still emit;
+    /// `Word::MAX` once the child reported done.
+    frontier: BTreeMap<NodeId, Word>,
+    merged: BTreeMap<Word, [Word; 2]>,
+    combine: C,
+    sent_done: bool,
+}
+
+impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> ConvergeProgram<C> {
+    fn insert(&mut self, key: Word, val: [Word; 2]) {
+        match self.merged.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(val);
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let cur = *e.get();
+                e.insert((self.combine)(key, cur, val));
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        let watermark = self.frontier.values().copied().min().unwrap_or(Word::MAX);
+        if let Some(parent) = self.parent {
+            // Emit every settled key (< watermark) upward, in order.
+            let ready: Vec<Word> =
+                self.merged.range(..watermark).map(|(&k, _)| k).collect();
+            for k in ready {
+                let [a, b] = self.merged.remove(&k).expect("key present");
+                ctx.send(parent, Message::words(&[TAG_ITEM, k, a, b]));
+            }
+            if watermark == Word::MAX && !self.sent_done {
+                self.sent_done = true;
+                ctx.send(parent, Message::words(&[TAG_DONE]));
+            }
+        }
+    }
+}
+
+impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> Program for ConvergeProgram<C> {
+    type Output = BTreeMap<Word, [Word; 2]>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        self.flush(ctx);
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        for (from, msg) in inbox {
+            match msg.word(0) {
+                TAG_ITEM => {
+                    let key = msg.word(1);
+                    self.insert(key, [msg.word(2), msg.word(3)]);
+                    let f = self.frontier.get_mut(from).expect("sender is a child");
+                    *f = (*f).max(key.saturating_add(1));
+                }
+                TAG_DONE => {
+                    *self.frontier.get_mut(from).expect("sender is a child") = Word::MAX;
+                }
+                other => unreachable!("unexpected tag {other}"),
+            }
+        }
+        self.flush(ctx);
+    }
+
+    fn finish(self) -> BTreeMap<Word, [Word; 2]> {
+        self.merged
+    }
+}
+
+/// Combining convergecast: every vertex `v` contributes `items(v)`;
+/// values sharing a key are merged with the associative, commutative
+/// `combine(key, a, b)`; the root's combined map is returned.
+///
+/// Items are streamed in increasing key order with per-child watermarks,
+/// so `K` distinct keys cost `O(K + height)` rounds at cap 1.
+pub fn converge<C>(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+    combine: C,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats)
+where
+    C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2] + Clone,
+{
+    let root = tree.root;
+    let (mut out, stats) = sim.run(|v, _| {
+        let mut p = ConvergeProgram {
+            parent: tree.parent[v],
+            frontier: tree.children[v].iter().map(|&c| (c, 0)).collect(),
+            merged: BTreeMap::new(),
+            combine: combine.clone(),
+            sent_done: false,
+        };
+        for (k, val) in items(v) {
+            p.insert(k, val);
+        }
+        p
+    });
+    (std::mem::take(&mut out[root]), stats)
+}
+
+/// Convergecast of distinct items (duplicate keys keep the smaller
+/// value, which callers with genuinely unique keys never observe).
+pub fn gather(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
+    converge(sim, tree, items, |_, a, b| a.min(b))
+}
+
+/// Convergecast of keyed minima over the first value word; the second
+/// word rides along with its minimum (e.g. `val = [weight, edge-id]`
+/// keeps the lightest edge per key).
+pub fn converge_min(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
+    converge(sim, tree, items, |_, a, b| if a[0] <= b[0] { a } else { b })
+}
+
+/// Convergecast of keyed maxima over the first value word.
+pub fn converge_max(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
+    converge(sim, tree, items, |_, a, b| if a[0] >= b[0] { a } else { b })
+}
+
+/// Convergecast of keyed sums over the first value word (second word
+/// summed too).
+pub fn converge_sum(
+    sim: &mut Simulator<'_>,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
+    converge(sim, tree, items, |_, a, b| [a[0] + b[0], a[1] + b[1]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::build_bfs_tree;
+    use lightgraph::generators;
+
+    #[test]
+    fn broadcast_reaches_everyone_in_order() {
+        let g = generators::erdos_renyi(32, 0.12, 9, 7);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let items: Vec<Item> = (0..20).map(|i| (i, [i * 10, i * 100])).collect();
+        let (out, stats) = broadcast(&mut sim, &tree, items.clone());
+        for v in 0..g.n() {
+            assert_eq!(out[v], items, "vertex {v} missed items");
+        }
+        assert!(
+            stats.rounds <= items.len() as u64 + tree.height() + 2,
+            "broadcast not pipelined: {} rounds for {} items, height {}",
+            stats.rounds,
+            items.len(),
+            tree.height()
+        );
+    }
+
+    #[test]
+    fn broadcast_of_nothing_is_instant() {
+        let g = generators::path(5, 1);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (out, stats) = broadcast(&mut sim, &tree, Vec::new());
+        assert!(out.iter().all(|v| v.is_empty()));
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn converge_max_finds_global_max_per_key() {
+        let g = generators::erdos_renyi(40, 0.1, 9, 8);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 3);
+        // key = v % 4, value = v
+        let (got, _) = converge_max(&mut sim, &tree, |v| {
+            vec![((v % 4) as u64, [v as u64, 0])]
+        });
+        for k in 0..4u64 {
+            let expect = (0..40u64).filter(|v| v % 4 == k).max().unwrap();
+            assert_eq!(got[&k][0], expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn converge_sum_counts_vertices() {
+        let g = generators::grid(6, 6, 3, 1);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (got, _) = converge_sum(&mut sim, &tree, |_| vec![(0, [1, 2])]);
+        assert_eq!(got[&0], [36, 72]);
+    }
+
+    #[test]
+    fn converge_min_keeps_payload_of_minimum() {
+        let g = generators::path(6, 1);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (got, _) = converge_min(&mut sim, &tree, |v| {
+            vec![(0, [(10 - v) as u64, v as u64])]
+        });
+        assert_eq!(got[&0], [5, 5]); // v=5 has min first word, payload rides along
+    }
+
+    #[test]
+    fn gather_collects_distinct_items_pipelined() {
+        let g = generators::path(16, 1);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (got, stats) = gather(&mut sim, &tree, |v| vec![(v as u64, [v as u64 * 7, 0])]);
+        assert_eq!(got.len(), 16);
+        for v in 0..16u64 {
+            assert_eq!(got[&v][0], v * 7);
+        }
+        // Path of length 15, 16 items: pipelining should finish well under
+        // the naive 16*15 bound.
+        assert!(stats.rounds <= 16 + 15 + 5, "gather not pipelined: {}", stats.rounds);
+    }
+
+    #[test]
+    fn converge_handles_empty_contributions() {
+        let g = generators::grid(4, 4, 2, 2);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (got, _) = converge_max(&mut sim, &tree, |v| {
+            if v == 9 {
+                vec![(42, [9, 9])]
+            } else {
+                Vec::new()
+            }
+        });
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[&42], [9, 9]);
+    }
+}

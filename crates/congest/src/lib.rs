@@ -1,0 +1,62 @@
+//! A synchronous CONGEST-model simulator.
+//!
+//! The CONGEST model (§2 of *Distributed Construction of Light Networks*)
+//! has one processor per vertex of a weighted graph `G`; computation
+//! proceeds in synchronous rounds, and in each round every vertex may send
+//! one message of `O(log n)` bits over each incident edge. Local
+//! computation is free; the complexity measure is the number of rounds.
+//!
+//! This simulator realizes the model faithfully and *charges congestion
+//! automatically*: every directed edge carries a FIFO queue, and at most
+//! [`Simulator::cap`] messages per round cross each directed edge. A
+//! program that enqueues `K` messages on one edge therefore pays
+//! `⌈K/cap⌉` rounds — exactly the pipelining arguments the paper uses
+//! (e.g. Lemma 1).
+//!
+//! * [`Simulator`] — owns the per-run round loop and cumulative round
+//!   accounting across the phases of a composite algorithm,
+//! * [`Program`] — the per-node state machine interface,
+//! * [`tree`] — distributed BFS-tree construction (the tree τ of §2),
+//! * [`collective`] — Lemma-1 collectives: pipelined broadcast to all
+//!   vertices in `O(M + D)` rounds and combining convergecast
+//!   (watermark-merged, `O(M + D)` rounds).
+//!
+//! # Example: flooding a token
+//!
+//! ```
+//! use congest::{Simulator, Program, Ctx, Message};
+//! use lightgraph::generators;
+//!
+//! struct Flood { have: bool }
+//! impl Program for Flood {
+//!     type Output = bool;
+//!     fn init(&mut self, ctx: &mut Ctx<'_>) {
+//!         if ctx.node() == 0 {
+//!             self.have = true;
+//!             ctx.send_all(Message::words(&[7]));
+//!         }
+//!     }
+//!     fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(usize, Message)]) {
+//!         if !self.have && !inbox.is_empty() {
+//!             self.have = true;
+//!             ctx.send_all(Message::words(&[7]));
+//!         }
+//!     }
+//!     fn finish(self) -> bool { self.have }
+//! }
+//!
+//! let g = generators::erdos_renyi(32, 0.2, 10, 1);
+//! let mut sim = Simulator::new(&g);
+//! let (out, stats) = sim.run(|_, _| Flood { have: false });
+//! assert!(out.iter().all(|&b| b));
+//! assert!(stats.rounds >= 1);
+//! ```
+
+pub mod collective;
+pub mod tree;
+
+mod message;
+mod sim;
+
+pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
+pub use sim::{Ctx, Program, RunStats, Simulator};

@@ -1,0 +1,110 @@
+//! Messages: `O(log n)`-bit payloads, at most a constant number of words.
+
+/// One machine word of `O(log n)` bits (§2: "we assume a word size is
+/// log n bits"). Node ids, edge weights, and tour times all fit in one
+/// word on the instances we simulate.
+pub type Word = u64;
+
+/// Maximum number of words per message. The paper's messages carry `O(1)`
+/// words (e.g. an id plus a distance); four words accommodate every
+/// message in this repository while keeping the `O(log n)` spirit.
+pub const WORDS_PER_MESSAGE: usize = 4;
+
+/// A CONGEST message: between 1 and [`WORDS_PER_MESSAGE`] words.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Message {
+    words: Vec<Word>,
+}
+
+impl Message {
+    /// Creates a message from the given words.
+    ///
+    /// # Panics
+    /// Panics if `words` is empty or longer than [`WORDS_PER_MESSAGE`] —
+    /// that would violate the CONGEST bandwidth bound, so it is a
+    /// programming error, not a recoverable condition.
+    pub fn words(words: &[Word]) -> Self {
+        assert!(
+            !words.is_empty() && words.len() <= WORDS_PER_MESSAGE,
+            "CONGEST message must have 1..={WORDS_PER_MESSAGE} words, got {}",
+            words.len()
+        );
+        Message { words: words.to_vec() }
+    }
+
+    /// The payload words.
+    pub fn as_words(&self) -> &[Word] {
+        &self.words
+    }
+
+    /// The `i`-th payload word.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn word(&self, i: usize) -> Word {
+        self.words[i]
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Always false (messages have at least one word).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Packs two 32-bit values into one word (ids are `< 2^32` on every
+/// instance we simulate; the constructor checks).
+///
+/// # Panics
+/// Panics if either value does not fit in 32 bits.
+pub fn pack2(hi: u64, lo: u64) -> Word {
+    assert!(hi < (1 << 32) && lo < (1 << 32), "pack2 operands must fit in 32 bits");
+    (hi << 32) | lo
+}
+
+/// Inverse of [`pack2`].
+pub fn unpack2(w: Word) -> (u64, u64) {
+    (w >> 32, w & 0xffff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_words() {
+        let m = Message::words(&[1, 2, 3]);
+        assert_eq!(m.as_words(), &[1, 2, 3]);
+        assert_eq!(m.word(1), 2);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_message() {
+        let _ = Message::words(&[0; WORDS_PER_MESSAGE + 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_empty_message() {
+        let _ = Message::words(&[]);
+    }
+
+    #[test]
+    fn pack_unpack() {
+        let w = pack2(0xdead, 0xbeef);
+        assert_eq!(unpack2(w), (0xdead, 0xbeef));
+    }
+
+    #[test]
+    #[should_panic]
+    fn pack_rejects_wide_values() {
+        let _ = pack2(1 << 33, 0);
+    }
+}

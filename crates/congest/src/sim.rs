@@ -1,0 +1,442 @@
+//! The round loop: per-edge FIFO queues with a bandwidth cap.
+
+use crate::message::Message;
+use lightgraph::{EdgeId, Graph, NodeId, Weight};
+use std::collections::{HashMap, VecDeque};
+
+/// Round and message counts for one run (or accumulated over several —
+/// see [`Simulator::total`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of communication rounds executed.
+    pub rounds: u64,
+    /// Number of messages delivered.
+    pub messages: u64,
+}
+
+impl RunStats {
+    /// Adds another run's counts into this one.
+    pub fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+    }
+}
+
+/// The per-node interface handed to [`Program`] callbacks.
+///
+/// A `Ctx` deliberately exposes only what a CONGEST processor knows
+/// locally: its own id, `n`, the current round, and its incident edges.
+pub struct Ctx<'a> {
+    node: NodeId,
+    n: usize,
+    round: u64,
+    neighbors: &'a [(NodeId, Weight, EdgeId)],
+    staged: &'a mut Vec<(NodeId, Message)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// This processor's vertex id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of vertices in the network (globally known, as usual in
+    /// CONGEST algorithm statements).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round (0 during [`Program::init`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Incident edges: `(neighbor, weight, edge id)`.
+    pub fn neighbors(&self) -> &[(NodeId, Weight, EdgeId)] {
+        self.neighbors
+    }
+
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Enqueues `msg` on the edge towards `to`. The message is delivered
+    /// in a later round, once the edge's earlier traffic has drained
+    /// (at most [`Simulator::cap`] messages cross per round).
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbor — a CONGEST processor can only
+    /// ever address its neighbors.
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        debug_assert!(
+            self.neighbors.iter().any(|&(v, _, _)| v == to),
+            "node {} tried to send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.staged.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: Message) {
+        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _, _)| v).collect();
+        for v in targets {
+            self.send(v, msg.clone());
+        }
+    }
+}
+
+/// A per-node state machine executed by the [`Simulator`].
+///
+/// One instance exists per vertex. `init` runs before the first round;
+/// `round` runs every round with the messages delivered *this* round.
+/// Execution stops when every edge queue is empty and every program
+/// reports [`Program::is_quiescent`].
+pub trait Program {
+    /// Per-node result collected by [`Simulator::run`].
+    type Output;
+
+    /// Called once before round 1; may send messages.
+    fn init(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called once per round with this round's delivered messages
+    /// (possibly empty), as `(sender, message)` pairs ordered
+    /// deterministically by edge.
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]);
+
+    /// Whether this node is passive (waiting for messages). A node that
+    /// intends to act in a future round despite an empty inbox must
+    /// return `false`, otherwise the simulation may stop early.
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    /// Consumes the program and yields its output after the run.
+    fn finish(self) -> Self::Output;
+}
+
+/// The CONGEST network simulator.
+///
+/// Holds per-directed-edge FIFO queues and executes [`Program`]s in
+/// synchronous rounds. Cumulative statistics over all runs are kept in
+/// [`Simulator::total`], so a composite algorithm (an orchestration of
+/// several program runs with free local computation in between) is
+/// charged the sum of its phases, matching the paper's accounting.
+pub struct Simulator<'g> {
+    graph: &'g Graph,
+    cap: usize,
+    max_rounds: u64,
+    total: RunStats,
+    edge_of: Vec<HashMap<NodeId, EdgeId>>,
+}
+
+impl<'g> std::fmt::Debug for Simulator<'g> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("cap", &self.cap)
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+impl<'g> Simulator<'g> {
+    /// Creates a simulator for `graph` with bandwidth cap 1 (the
+    /// standard CONGEST bound: one message per edge per round).
+    pub fn new(graph: &'g Graph) -> Self {
+        let mut edge_of: Vec<HashMap<NodeId, EdgeId>> = vec![HashMap::new(); graph.n()];
+        for (id, e) in graph.edges().iter().enumerate() {
+            edge_of[e.u].entry(e.v).or_insert(id);
+            edge_of[e.v].entry(e.u).or_insert(id);
+        }
+        Simulator { graph, cap: 1, max_rounds: 50_000_000, total: RunStats::default(), edge_of }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Messages allowed per directed edge per round.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Sets the bandwidth cap (`>= 1`). Useful for "CONGEST with larger
+    /// messages" ablations.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    pub fn set_cap(&mut self, cap: usize) {
+        assert!(cap >= 1, "bandwidth cap must be at least 1");
+        self.cap = cap;
+    }
+
+    /// Sets the livelock guard (default 50 million rounds).
+    pub fn set_max_rounds(&mut self, max_rounds: u64) {
+        self.max_rounds = max_rounds;
+    }
+
+    /// Cumulative statistics over every run so far.
+    pub fn total(&self) -> RunStats {
+        self.total
+    }
+
+    /// Resets the cumulative statistics (e.g. between benchmark cases).
+    pub fn reset_total(&mut self) {
+        self.total = RunStats::default();
+    }
+
+    /// Adds externally-accounted rounds to the cumulative counter (used
+    /// by orchestrators that know a phase's cost analytically, e.g. when
+    /// reusing a cached BFS tree would be re-built in a cold start).
+    pub fn charge(&mut self, stats: RunStats) {
+        self.total.absorb(stats);
+    }
+
+    /// Runs one program instance per node until global quiescence.
+    ///
+    /// `make` is called once per node, in node order, with the node id
+    /// and the graph (for *local* initialization — a program must only
+    /// inspect its own incident edges; the full reference is passed for
+    /// ergonomic construction of e.g. shared configuration).
+    ///
+    /// Returns per-node outputs and this run's statistics; the same
+    /// statistics are also accumulated into [`Simulator::total`].
+    ///
+    /// # Panics
+    /// Panics if the run exceeds the `max_rounds` livelock guard.
+    pub fn run<P, F>(&mut self, mut make: F) -> (Vec<P::Output>, RunStats)
+    where
+        P: Program,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let n = self.graph.n();
+        let mut programs: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
+        // queue index = 2 * edge_id + dir, dir 0 = u->v.
+        let mut queues: Vec<VecDeque<(NodeId, Message)>> = vec![VecDeque::new(); 2 * self.graph.m()];
+        let mut stats = RunStats::default();
+        let mut staged: Vec<(NodeId, Message)> = Vec::new();
+
+        let queue_index = |edge_of: &Vec<HashMap<NodeId, EdgeId>>, from: NodeId, to: NodeId| {
+            let e = *edge_of[from]
+                .get(&to)
+                .unwrap_or_else(|| panic!("no edge between {from} and {to}"));
+            let edge = self.graph.edge(e);
+            if edge.u == from {
+                2 * e
+            } else {
+                2 * e + 1
+            }
+        };
+
+        // init
+        for (v, p) in programs.iter_mut().enumerate() {
+            let mut ctx = Ctx {
+                node: v,
+                n,
+                round: 0,
+                neighbors: self.graph.neighbors(v),
+                staged: &mut staged,
+            };
+            p.init(&mut ctx);
+            for (to, msg) in staged.drain(..) {
+                queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
+            }
+        }
+
+        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+        loop {
+            let queues_empty = queues.iter().all(|q| q.is_empty());
+            if queues_empty && programs.iter().all(|p| p.is_quiescent()) {
+                break;
+            }
+            // Deliver up to `cap` messages per directed edge.
+            stats.rounds += 1;
+            if stats.rounds > self.max_rounds {
+                panic!(
+                    "CONGEST run exceeded {} rounds — livelocked program?",
+                    self.max_rounds
+                );
+            }
+            for (id, e) in self.graph.edges().iter().enumerate() {
+                for (qi, target) in [(2 * id, e.v), (2 * id + 1, e.u)] {
+                    for _ in 0..self.cap {
+                        match queues[qi].pop_front() {
+                            Some((from, msg)) => {
+                                stats.messages += 1;
+                                inboxes[target].push((from, msg));
+                            }
+                            None => break,
+                        }
+                    }
+                }
+            }
+            for (v, p) in programs.iter_mut().enumerate() {
+                let mut ctx = Ctx {
+                    node: v,
+                    n,
+                    round: stats.rounds,
+                    neighbors: self.graph.neighbors(v),
+                    staged: &mut staged,
+                };
+                p.round(&mut ctx, &inboxes[v]);
+                for (to, msg) in staged.drain(..) {
+                    queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
+                }
+            }
+            for inbox in &mut inboxes {
+                inbox.clear();
+            }
+        }
+
+        self.total.absorb(stats);
+        (programs.into_iter().map(Program::finish).collect(), stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightgraph::generators;
+
+    /// Each node sends its id to all neighbors once; everyone records
+    /// what it hears.
+    struct Hello {
+        heard: Vec<NodeId>,
+    }
+
+    impl Program for Hello {
+        type Output = Vec<NodeId>;
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.send_all(Message::words(&[ctx.node() as u64]));
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            for (from, msg) in inbox {
+                assert_eq!(msg.word(0), *from as u64);
+                self.heard.push(*from);
+            }
+        }
+        fn finish(self) -> Vec<NodeId> {
+            self.heard
+        }
+    }
+
+    #[test]
+    fn hello_exchanges_take_one_round() {
+        let g = generators::cycle(6, 1);
+        let mut sim = Simulator::new(&g);
+        let (out, stats) = sim.run(|_, _| Hello { heard: Vec::new() });
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.messages, 2 * g.m() as u64);
+        for (v, heard) in out.iter().enumerate() {
+            let mut expect: Vec<NodeId> =
+                g.neighbors(v).iter().map(|&(u, _, _)| u).collect();
+            let mut got = heard.clone();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect);
+        }
+    }
+
+    /// Node 0 sends K messages to node 1 over the single edge; with
+    /// cap=1 this must take exactly K rounds.
+    struct Burst {
+        k: usize,
+        received: usize,
+    }
+
+    impl Program for Burst {
+        type Output = usize;
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                for i in 0..self.k {
+                    ctx.send(1, Message::words(&[i as u64]));
+                }
+            }
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            self.received += inbox.len();
+        }
+        fn finish(self) -> usize {
+            self.received
+        }
+    }
+
+    #[test]
+    fn bandwidth_cap_charges_pipelining() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        let (out, stats) = sim.run(|_, _| Burst { k: 10, received: 0 });
+        assert_eq!(stats.rounds, 10, "10 messages over one edge at cap 1 = 10 rounds");
+        assert_eq!(out[1], 10);
+
+        let mut sim2 = Simulator::new(&g);
+        sim2.set_cap(5);
+        let (_, stats2) = sim2.run(|_, _| Burst { k: 10, received: 0 });
+        assert_eq!(stats2.rounds, 2, "cap 5 halves the rounds");
+    }
+
+    #[test]
+    fn totals_accumulate_across_runs() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.run(|_, _| Burst { k: 3, received: 0 });
+        sim.run(|_, _| Burst { k: 4, received: 0 });
+        assert_eq!(sim.total().rounds, 7);
+        sim.reset_total();
+        assert_eq!(sim.total(), RunStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "livelocked")]
+    fn livelock_guard_fires() {
+        struct Chatter;
+        impl Program for Chatter {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_all(Message::words(&[0]));
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+                for (from, _) in inbox.to_vec() {
+                    ctx.send(from, Message::words(&[0]));
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.set_max_rounds(100);
+        sim.run(|_, _| Chatter);
+    }
+
+    #[test]
+    fn non_quiescent_program_keeps_running() {
+        /// Counts 5 silent rounds then stops.
+        struct Timer {
+            left: u32,
+        }
+        impl Program for Timer {
+            type Output = u32;
+            fn init(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {
+                self.left = self.left.saturating_sub(1);
+            }
+            fn is_quiescent(&self) -> bool {
+                self.left == 0
+            }
+            fn finish(self) -> u32 {
+                self.left
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        let (out, stats) = sim.run(|_, _| Timer { left: 5 });
+        assert_eq!(stats.rounds, 5);
+        assert_eq!(out, vec![0, 0]);
+    }
+
+    use lightgraph::Graph;
+}

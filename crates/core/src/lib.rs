@@ -1,0 +1,47 @@
+//! # lightnet — Distributed Construction of Light Networks
+//!
+//! A from-scratch Rust reproduction of *Distributed Construction of
+//! Light Networks* (Michael Elkin, Arnold Filtser, Ofer Neiman;
+//! PODC 2020, arXiv:1905.02592), running on a faithful CONGEST-model
+//! simulator (the [`congest`] crate). This crate hosts the paper's four
+//! primary contributions (Table 1):
+//!
+//! | Object | Module | Guarantee |
+//! |---|---|---|
+//! | Light spanner (general graphs) | [`light_spanner`] | `(2k−1)(1+ε)` stretch, `O(k·n^{1+1/k})` edges, `O(k·n^{1/k})` lightness |
+//! | Shallow-Light Tree | [`slt`] | root stretch `1+O(ε)`, lightness `1+O(1/ε)` (and the inverse regime via [BFN16]) |
+//! | `(α, β)`-nets | [`nets`] | `((1+δ)∆, ∆/(1+δ))`-net |
+//! | Doubling-graph spanner | [`doubling`] | `(1+O(ε))` stretch, lightness `ε^{-O(ddim)}·log n` |
+//!
+//! plus the §8 lower-bound reduction ([`lower_bound`]) and the Euler
+//! tour sweep machinery ([`tour_sweep`]) shared by §4 and §5.
+//!
+//! # Example
+//!
+//! ```
+//! use congest::{Simulator, tree::build_bfs_tree};
+//! use lightgraph::{generators, metrics};
+//! use lightnet::slt::shallow_light_tree;
+//!
+//! let g = generators::erdos_renyi(48, 0.15, 40, 7);
+//! let mut sim = Simulator::new(&g);
+//! let (tau, _) = build_bfs_tree(&mut sim, 0);
+//! let slt = shallow_light_tree(&mut sim, &tau, 0, 0.5, 7);
+//! let tree = g.edge_subgraph_dedup(slt.edges.iter().copied());
+//! assert!(metrics::root_stretch(&g, &tree, 0) < 1.0 + 60.0 * 0.5);
+//! assert!(metrics::lightness(&g, &tree) < 1.0 + 8.0 / 0.5);
+//! println!("SLT in {} CONGEST rounds", slt.stats.rounds);
+//! ```
+
+pub mod doubling;
+pub mod light_spanner;
+pub mod lower_bound;
+pub mod nets;
+pub mod slt;
+pub mod tour_sweep;
+
+pub use doubling::{doubling_spanner, DoublingSpanner};
+pub use light_spanner::{light_spanner, LightSpannerResult};
+pub use lower_bound::{estimate_mst_weight, MstWeightEstimate};
+pub use nets::{net, net_quality, NetResult};
+pub use slt::{kry_slt, light_slt, shallow_light_tree, SltResult};

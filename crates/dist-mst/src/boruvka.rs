@@ -1,0 +1,574 @@
+//! Two-phase distributed MST (the [KP98]/[Elk17b] substitute of §3.1).
+//!
+//! Phase 1 grows *base fragments* by local star-merges with a diameter
+//! cap: every fragment maintains a spanning tree of real graph edges and
+//! a diameter estimate held at its leader; each phase, small fragments
+//! find their minimum-weight outgoing edge (MWOE) by an intra-fragment
+//! convergecast, flip a common-seed coin, and tails merge into heads (or
+//! into frozen large fragments) across their MWOE. Star merges keep the
+//! merge depth at one, and the estimate cap keeps base-fragment
+//! hop-diameter `O(√n · log n)`; fragments of diameter `≥ √n` number at
+//! most `√n`, so phase 1 ends with `O(√n)` base fragments — exactly the
+//! structure §3 consumes.
+//!
+//! Phase 2 finishes the MST globally: per-fragment MWOEs are combined up
+//! the BFS tree (`O(F + D)` rounds, Lemma 1), the root resolves the
+//! merges locally and broadcasts the chosen *external edges*; every
+//! vertex applies the same deterministic component computation. Borůvka
+//! halving gives `O(log n)` global phases.
+//!
+//! Ties are broken by `(weight, edge id)` throughout, which makes edge
+//! weights effectively unique, the MST unique, and the distributed
+//! result bit-identical to sequential Kruskal with the same tie-break.
+
+use crate::passes::{self, FragView, Val};
+use congest::collective;
+use congest::tree::BfsTree;
+use congest::{pack2, unpack2, Ctx, Message, Program, RunStats, Simulator, Word};
+use lightgraph::{EdgeId, Graph, NodeId, Weight, INF};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+const STATUS_TAIL: u64 = 0;
+const STATUS_HEAD: u64 = 1;
+const STATUS_FROZEN: u64 = 2;
+
+const TAG_FRAG: u64 = 10;
+const TAG_REQ: u64 = 11;
+const TAG_ACC: u64 = 12;
+const TAG_REJ: u64 = 13;
+const TAG_RELABEL: u64 = 14;
+
+/// Result of the distributed MST construction.
+#[derive(Debug, Clone)]
+pub struct MstResult {
+    /// All `n - 1` MST edge ids, sorted.
+    pub mst_edges: Vec<EdgeId>,
+    /// Total MST weight.
+    pub weight: Weight,
+    /// Base fragment of each vertex (the fragment *leader's* vertex id —
+    /// stable across the run).
+    pub base_fragment_of: Vec<u64>,
+    /// Phase-1 fragment trees: parent orientation towards each
+    /// fragment's leader, `tree_neighbors` = incident internal edges.
+    pub base_views: Vec<FragView>,
+    /// The phase-2 MST edges crossing between base fragments ("external
+    /// edges" in §3.1); `|external_edges| = #fragments - 1`.
+    pub external_edges: Vec<EdgeId>,
+    /// Number of phase-1 (local growth) iterations executed.
+    pub phase1_iterations: usize,
+    /// Number of phase-2 (global Borůvka) iterations executed.
+    pub phase2_iterations: usize,
+    /// Rounds and messages consumed by the whole construction.
+    pub stats: RunStats,
+}
+
+impl MstResult {
+    /// Number of base fragments.
+    pub fn fragment_count(&self) -> usize {
+        let mut ids: Vec<u64> = self.base_fragment_of.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One-round neighbor fragment-id exchange.
+struct Exchange {
+    frag: u64,
+    heard: HashMap<NodeId, u64>,
+}
+
+impl Program for Exchange {
+    type Output = HashMap<NodeId, u64>;
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.send_all(Message::words(&[TAG_FRAG, self.frag]));
+    }
+    fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        for (from, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_FRAG);
+            self.heard.insert(*from, msg.word(1));
+        }
+    }
+    fn finish(self) -> Self::Output {
+        self.heard
+    }
+}
+
+fn exchange_frag_ids(
+    sim: &mut Simulator<'_>,
+    frag: &[u64],
+) -> Vec<HashMap<NodeId, u64>> {
+    let (out, _) = sim.run(|v, _| Exchange { frag: frag[v], heard: HashMap::new() });
+    out
+}
+
+/// The tail→head merge negotiation across MWOE edges (two rounds).
+struct Negotiate {
+    /// `Some((partner vertex, own frag, own est))` if this vertex is the
+    /// acting endpoint of a participating tail fragment.
+    request: Option<(NodeId, u64, u64)>,
+    /// This vertex's fragment status (from the status flood).
+    status: u64,
+    frag: u64,
+    /// Suitors accepted at this vertex: `(tail endpoint, tail est)`.
+    accepted: Vec<(NodeId, u64)>,
+    /// Merge decision if this vertex's request was accepted.
+    merge_into: Option<(u64, NodeId)>,
+}
+
+impl Program for Negotiate {
+    type Output = (Vec<(NodeId, u64)>, Option<(u64, NodeId)>);
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((partner, frag, est)) = self.request {
+            ctx.send(partner, Message::words(&[TAG_REQ, frag, est]));
+        }
+    }
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        for (from, msg) in inbox {
+            match msg.word(0) {
+                TAG_REQ => {
+                    if self.status == STATUS_HEAD || self.status == STATUS_FROZEN {
+                        self.accepted.push((*from, msg.word(2)));
+                        ctx.send(*from, Message::words(&[TAG_ACC, self.frag]));
+                    } else {
+                        ctx.send(*from, Message::words(&[TAG_REJ]));
+                    }
+                }
+                TAG_ACC => {
+                    self.merge_into = Some((msg.word(1), *from));
+                }
+                TAG_REJ => {}
+                other => unreachable!("unexpected tag {other}"),
+            }
+        }
+    }
+    fn finish(self) -> Self::Output {
+        (self.accepted, self.merge_into)
+    }
+}
+
+/// Re-label + re-root flood inside merged tail fragments.
+struct Relabel {
+    /// `Some((new frag, partner))` at the acting endpoint.
+    start: Option<(u64, NodeId)>,
+    tree_neighbors: Vec<NodeId>,
+    adopted: Option<(u64, Option<NodeId>)>,
+}
+
+impl Relabel {
+    fn spread(&mut self, ctx: &mut Ctx<'_>, new_frag: u64, skip: Option<NodeId>) {
+        for &u in &self.tree_neighbors.clone() {
+            if Some(u) != skip {
+                ctx.send(u, Message::words(&[TAG_RELABEL, new_frag]));
+            }
+        }
+    }
+}
+
+impl Program for Relabel {
+    type Output = Option<(u64, Option<NodeId>)>;
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((new_frag, partner)) = self.start {
+            self.adopted = Some((new_frag, Some(partner)));
+            self.spread(ctx, new_frag, None);
+        }
+    }
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        for (from, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_RELABEL);
+            if self.adopted.is_none() {
+                let new_frag = msg.word(1);
+                self.adopted = Some((new_frag, Some(*from)));
+                self.spread(ctx, new_frag, Some(*from));
+            }
+        }
+    }
+    fn finish(self) -> Self::Output {
+        self.adopted
+    }
+}
+
+/// Per-vertex local minimum outgoing edge, as an up-pass value
+/// `[weight, pack2(edge, partner fragment), 0]` (`[INF, MAX, 0]` if
+/// none).
+fn local_mwoe(
+    g: &Graph,
+    v: NodeId,
+    frag: &[u64],
+    nbr: &HashMap<NodeId, u64>,
+) -> Val {
+    let mut best: Val = [INF, Word::MAX, 0];
+    for &(u, w, e) in g.neighbors(v) {
+        let uf = *nbr.get(&u).expect("neighbor id exchanged");
+        if uf != frag[v] {
+            let cand = [w, pack2(e as u64, uf), 0];
+            if (cand[0], cand[1]) < (best[0], best[1]) {
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+fn min_by_weight_edge(a: Val, b: Val) -> Val {
+    if (a[0], a[1]) <= (b[0], b[1]) {
+        a
+    } else {
+        b
+    }
+}
+
+/// Runs the two-phase distributed MST rooted at `rt`.
+///
+/// `tau` is the BFS tree used for global coordination (build it once
+/// with [`congest::tree::build_bfs_tree`]); `seed` feeds the phase-1
+/// coin flips. Round/message costs accrue in `sim` and are reported in
+/// [`MstResult::stats`].
+///
+/// # Panics
+/// Panics if the graph is disconnected.
+pub fn distributed_mst(
+    sim: &mut Simulator<'_>,
+    tau: &BfsTree,
+    rt: NodeId,
+    seed: u64,
+) -> MstResult {
+    let g = sim.graph();
+    let n = g.n();
+    let start_stats = sim.total();
+    let diam_cap = (n as f64).sqrt().ceil() as u64;
+    let target_frags = ((n as f64).sqrt().ceil() as usize).max(1);
+    let max_phase1 = 4 * (usize::BITS - n.leading_zeros()) as usize + 8;
+
+    let mut frag: Vec<u64> = (0..n as u64).collect();
+    let mut views: Vec<FragView> = vec![FragView::default(); n];
+    let mut est: Vec<u64> = vec![0; n]; // meaningful at leaders
+    let mut phase1_iterations = 0;
+
+    if n > 1 {
+        loop {
+            phase1_iterations += 1;
+            // (a) neighbors learn each other's fragment ids.
+            let nbr = exchange_frag_ids(sim, &frag);
+            // (b) intra-fragment MWOE convergecast.
+            let frag_ref = &frag;
+            let nbr_ref = &nbr;
+            let (mwoe, _) = passes::up_pass(
+                sim,
+                &views,
+                |v| local_mwoe(g, v, frag_ref, &nbr_ref[v]),
+                min_by_weight_edge,
+            );
+            // (c) leaders pick a status and flood it with the MWOE.
+            let est_ref = &est;
+            let phase_salt = splitmix64(seed ^ (phase1_iterations as u64) << 17);
+            let (flood, _) = passes::flood_pass(sim, &views, |v| {
+                // only evaluated at fragment roots
+                let has_mwoe = mwoe[v][0] < INF;
+                let status = if !has_mwoe {
+                    STATUS_FROZEN
+                } else if est_ref[v] >= diam_cap {
+                    STATUS_FROZEN
+                } else if splitmix64(phase_salt ^ frag_ref[v]) & 1 == 1 {
+                    STATUS_HEAD
+                } else {
+                    STATUS_TAIL
+                };
+                let edge_word =
+                    if has_mwoe { unpack2(mwoe[v][1]).0 } else { Word::MAX };
+                [status, edge_word, est_ref[v]]
+            });
+            let flood: Vec<Val> =
+                flood.into_iter().map(|o| o.expect("flood reaches all")).collect();
+            // (d) negotiate across MWOE edges.
+            let (negotiated, _) = sim.run(|v, _| {
+                let [status, mwoe_edge, fest] = flood[v];
+                let mut request = None;
+                if status == STATUS_TAIL && mwoe_edge != Word::MAX {
+                    for &(u, _, e) in g.neighbors(v) {
+                        if e as u64 == mwoe_edge && nbr[v][&u] != frag[v] {
+                            request = Some((u, frag[v], fest));
+                        }
+                    }
+                }
+                Negotiate {
+                    request,
+                    status,
+                    frag: frag[v],
+                    accepted: Vec::new(),
+                    merge_into: None,
+                }
+            });
+            // (e) diameter-bump convergecast over the (old) head trees.
+            let (bump, _) = passes::up_pass(
+                sim,
+                &views,
+                |v| {
+                    let b = negotiated[v].0.iter().map(|&(_, e)| e + 1).max().unwrap_or(0);
+                    [b, 0, 0]
+                },
+                |a, b| [a[0].max(b[0]), 0, 0],
+            );
+            // (f) relabel/re-root flood inside merged tails.
+            let (relabels, _) = sim.run(|v, _| Relabel {
+                start: negotiated[v].1.map(|(nf, partner)| (nf, partner)),
+                tree_neighbors: views[v].tree_neighbors.clone(),
+                adopted: None,
+            });
+            // (g) local state updates (free).
+            for v in 0..n {
+                for &(suitor, _) in &negotiated[v].0 {
+                    views[v].tree_neighbors.push(suitor);
+                }
+            }
+            for v in 0..n {
+                if let Some((new_frag, new_parent)) = relabels[v] {
+                    frag[v] = new_frag;
+                    views[v].parent = new_parent;
+                    if let Some((_, partner)) = negotiated[v].1 {
+                        if !views[v].tree_neighbors.contains(&partner) {
+                            views[v].tree_neighbors.push(partner);
+                        }
+                    }
+                }
+            }
+            for v in 0..n {
+                if views[v].parent.is_none() && bump[v][0] > 0 {
+                    est[v] += 2 * bump[v][0];
+                }
+            }
+            // (h) global termination census (leaders report).
+            let frag_ref = &frag;
+            let views_ref = &views;
+            let flood_ref = &flood;
+            let (census, _) = collective::converge_sum(sim, tau, |v| {
+                if views_ref[v].parent.is_none() {
+                    let active = (flood_ref[v][0] != STATUS_FROZEN
+                        && flood_ref[v][1] != Word::MAX) as u64;
+                    vec![(0, [1, active])]
+                } else {
+                    Vec::new()
+                }
+            });
+            let _ = frag_ref;
+            let [fragments, active] = census.get(&0).copied().unwrap_or([0, 0]);
+            if fragments <= target_frags as u64
+                || active == 0
+                || phase1_iterations >= max_phase1
+            {
+                break;
+            }
+        }
+    }
+
+    // Base fragment structure is frozen here.
+    let base_fragment_of = frag.clone();
+    let base_views = views.clone();
+
+    // ------------------------------------------------------------------
+    // Phase 2: global pipelined Borůvka on the fragment graph.
+    // ------------------------------------------------------------------
+    let mut external_edges: Vec<EdgeId> = Vec::new();
+    let mut chosen_set: HashSet<EdgeId> = HashSet::new();
+    let mut phase2_iterations = 0;
+    loop {
+        phase2_iterations += 1;
+        let nbr = exchange_frag_ids(sim, &frag);
+        let frag_ref = &frag;
+        let (map, _) = collective::converge(
+            sim,
+            tau,
+            |v| {
+                let best = local_mwoe(g, v, frag_ref, &nbr[v]);
+                if best[0] < INF {
+                    vec![(frag_ref[v], [best[0], best[1]])]
+                } else {
+                    Vec::new()
+                }
+            },
+            |_, a, b| {
+                if (a[0], a[1]) <= (b[0], b[1]) {
+                    a
+                } else {
+                    b
+                }
+            },
+        );
+        let items: Vec<collective::Item> =
+            map.iter().map(|(&k, &v)| (k, v)).collect();
+        if items.is_empty() {
+            break; // single fragment: MST complete
+        }
+        let (received, _) = collective::broadcast(sim, tau, items.clone());
+        debug_assert!(received.iter().all(|r| r.len() == items.len()));
+        // Deterministic local merge computation (identical at every
+        // vertex; performed once here on their behalf).
+        let mut rep: BTreeMap<u64, u64> = BTreeMap::new();
+        let find = |rep: &mut BTreeMap<u64, u64>, mut x: u64| {
+            while rep.get(&x).copied().unwrap_or(x) != x {
+                x = rep[&x];
+            }
+            x
+        };
+        for &(frag_a, [_, packed]) in &items {
+            let (edge, frag_b) = unpack2(packed);
+            let (ra, rb) = (find(&mut rep, frag_a), find(&mut rep, frag_b));
+            if ra != rb {
+                let (lo, hi) = (ra.min(rb), ra.max(rb));
+                rep.insert(hi, lo);
+            }
+            if chosen_set.insert(edge as EdgeId) {
+                external_edges.push(edge as EdgeId);
+            }
+        }
+        for v in 0..n {
+            frag[v] = find(&mut rep, frag[v]);
+        }
+        assert!(
+            phase2_iterations <= 2 * usize::BITS as usize,
+            "phase 2 failed to converge — disconnected graph?"
+        );
+    }
+
+    // Assemble the MST edge set: internal (fragment tree) + external.
+    let mut mst_edges: Vec<EdgeId> = Vec::with_capacity(n.saturating_sub(1));
+    for v in 0..n {
+        if let Some(p) = base_views[v].parent {
+            let e = g
+                .neighbors(v)
+                .iter()
+                .find(|&&(u, _, _)| u == p)
+                .map(|&(_, _, e)| e)
+                .expect("fragment tree edge exists in graph");
+            mst_edges.push(e);
+        }
+    }
+    mst_edges.extend(&external_edges);
+    mst_edges.sort_unstable();
+    mst_edges.dedup();
+    assert_eq!(
+        mst_edges.len(),
+        n.saturating_sub(1),
+        "MST must have n-1 edges — graph disconnected or merge bug"
+    );
+    let weight = mst_edges.iter().map(|&e| g.edge(e).w).sum();
+
+    let mut stats = sim.total();
+    let _ = rt;
+    stats.rounds -= start_stats.rounds;
+    stats.messages -= start_stats.messages;
+
+    MstResult {
+        mst_edges,
+        weight,
+        base_fragment_of,
+        base_views,
+        external_edges,
+        phase1_iterations,
+        phase2_iterations,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::tree::build_bfs_tree;
+    use lightgraph::{generators, mst::kruskal};
+
+    fn check_graph(g: &Graph, seed: u64) -> MstResult {
+        let mut sim = Simulator::new(g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let result = distributed_mst(&mut sim, &tau, 0, seed);
+        let reference = kruskal(g);
+        assert_eq!(result.weight, reference.weight, "weight mismatch");
+        assert_eq!(result.mst_edges, reference.edges, "edge set mismatch");
+        result
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_graphs() {
+        for seed in 0..4 {
+            let g = generators::erdos_renyi(60, 0.1, 50, seed);
+            check_graph(&g, seed);
+        }
+    }
+
+    #[test]
+    fn matches_kruskal_on_structured_graphs() {
+        check_graph(&generators::path(40, 7), 1);
+        check_graph(&generators::cycle(33, 5), 2);
+        check_graph(&generators::star(25, 9, 3), 3);
+        check_graph(&generators::grid(7, 8, 20, 4), 4);
+        check_graph(&generators::complete(20, 30, 5), 5);
+        check_graph(&generators::random_geometric(50, 0.3, 6), 6);
+    }
+
+    #[test]
+    fn single_vertex_and_edge() {
+        check_graph(&Graph::new(1), 0);
+        check_graph(&Graph::from_edges(2, [(0, 1, 5)]).unwrap(), 0);
+    }
+
+    #[test]
+    fn fragment_structure_is_consistent() {
+        let g = generators::erdos_renyi(100, 0.08, 40, 9);
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let r = distributed_mst(&mut sim, &tau, 0, 9);
+        let f = r.fragment_count();
+        assert_eq!(r.external_edges.len(), f - 1, "T' must be a tree on fragments");
+        // each fragment has exactly one leader (parent == None), and the
+        // fragment id equals the leader's vertex id
+        for v in 0..g.n() {
+            if r.base_views[v].parent.is_none() {
+                assert_eq!(r.base_fragment_of[v], v as u64);
+            }
+        }
+        // fragment trees are internally consistent: following parents
+        // stays within the fragment and reaches the leader
+        for v in 0..g.n() {
+            let mut cur = v;
+            let mut steps = 0;
+            while let Some(p) = r.base_views[cur].parent {
+                assert_eq!(r.base_fragment_of[p], r.base_fragment_of[v]);
+                cur = p;
+                steps += 1;
+                assert!(steps <= g.n());
+            }
+            assert_eq!(cur as u64, r.base_fragment_of[v]);
+        }
+        // external edges really cross fragments
+        for &e in &r.external_edges {
+            let edge = g.edge(e);
+            assert_ne!(r.base_fragment_of[edge.u], r.base_fragment_of[edge.v]);
+        }
+    }
+
+    #[test]
+    fn fragments_have_bounded_diameter_on_paths() {
+        // A path is the diameter-growth worst case; the cap must hold.
+        let g = generators::path(100, 3);
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let r = distributed_mst(&mut sim, &tau, 0, 11);
+        // fragment sizes bound fragment diameter on a path
+        let mut sizes: HashMap<u64, usize> = HashMap::new();
+        for v in 0..g.n() {
+            *sizes.entry(r.base_fragment_of[v]).or_insert(0) += 1;
+        }
+        let cap = 100f64.sqrt().ceil() as usize;
+        for (&id, &s) in &sizes {
+            // est-based cap allows a constant factor above √n
+            assert!(s <= 8 * cap, "fragment {id} has size {s}, cap {cap}");
+        }
+    }
+}

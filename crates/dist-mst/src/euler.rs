@@ -1,0 +1,459 @@
+//! The distributed Euler tour of the MST (§3, Lemma 2).
+//!
+//! Given the base-fragment structure produced by
+//! [`crate::boruvka::distributed_mst`], computes the preorder traversal
+//! `L = {rt = x_0, x_1, …, x_{2n-2}}` of the MST: every vertex learns its
+//! set of appearances `L(v)` with both the *index* and the *weighted
+//! visit time* `R_x` of each appearance. Children are ordered by vertex
+//! id, exactly like the sequential reference
+//! [`lightgraph::tree::RootedTree::euler_tour`].
+//!
+//! The implementation follows §3.1–3.3 step by step:
+//!
+//! 1. broadcast the fragment tree `T′` (external edges with endpoint
+//!    fragments, endpoints and weights) — `O(√n + D)` rounds,
+//! 2. re-root each base fragment at its root `r_i` (the endpoint of the
+//!    external edge towards the parent fragment),
+//! 3. *local tour lengths* `ℓ(v)` by a bottom-up fragment pass,
+//! 4. broadcast `{ℓ(r_i)}` and locally derive the *global tour lengths*
+//!    `g(r_i)` of all fragment roots from `T′`,
+//! 5. *global tour lengths* `g(v)` by a second bottom-up pass seeded
+//!    with the external children's `g`-values,
+//! 6. DFS *intervals* by a top-down fragment pass (child-fragment roots
+//!    receive their interval inside the parent fragment but do not
+//!    propagate it),
+//! 7. shifts `s_i` computed at `rt` from the gathered root intervals and
+//!    broadcast — `O(√n + D)` rounds,
+//! 8. every vertex locally derives all its visit times; a second run of
+//!    passes 3–7 with unit weights yields the tour *indices* (the paper:
+//!    "running the same algorithm that finds visiting times, ignoring
+//!    the weights").
+
+use crate::boruvka::MstResult;
+use crate::passes::{self, FragView, Val};
+use congest::collective;
+use congest::tree::BfsTree;
+use congest::{pack2, unpack2, RunStats, Simulator};
+use lightgraph::{EdgeId, Graph, NodeId, Weight};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// The distributed Euler tour: per-vertex appearances in `L`.
+#[derive(Debug, Clone)]
+pub struct DistEulerTour {
+    /// `appearances[v]` = the positions and weighted visit times of `v`
+    /// in `L`, sorted by position (the set `L(v)` with times `R_x`).
+    pub appearances: Vec<Vec<(usize, Weight)>>,
+    /// Total weighted tour length (`2 · w(MST)`).
+    pub total_length: Weight,
+    /// Rounds/messages spent computing the tour (excluding the MST).
+    pub stats: RunStats,
+}
+
+impl DistEulerTour {
+    /// Reassembles the full tour sequence `L` (positions → vertices and
+    /// visit times) — a *global* view used by tests and experiments, not
+    /// available to any single vertex in the real model.
+    pub fn assemble(&self) -> (Vec<NodeId>, Vec<Weight>) {
+        let total: usize = self.appearances.iter().map(Vec::len).sum();
+        let mut seq = vec![usize::MAX; total];
+        let mut times = vec![0; total];
+        for (v, apps) in self.appearances.iter().enumerate() {
+            for &(i, t) in apps {
+                seq[i] = v;
+                times[i] = t;
+            }
+        }
+        assert!(seq.iter().all(|&v| v != usize::MAX), "tour has holes");
+        (seq, times)
+    }
+}
+
+/// Fragment-tree (`T′`) data derivable locally by every vertex after the
+/// external-edge broadcast.
+struct FragTree {
+    /// Root vertex `r_i` of every fragment (or `rt` for the root
+    /// fragment), keyed by fragment id.
+    root_of: HashMap<u64, NodeId>,
+    /// Parent fragment of each non-root fragment.
+    parent_frag: HashMap<u64, u64>,
+    /// External children attached at a vertex: `(child fragment, child
+    /// root vertex)` lists.
+    ext_children_at: HashMap<NodeId, Vec<(u64, NodeId)>>,
+    /// Fragment ids in root-to-leaf BFS order over `T′`.
+    order: Vec<u64>,
+}
+
+/// Step 1: gather + broadcast the external edges, then assemble `T′`
+/// (the assembly itself is free local computation, identical at every
+/// vertex; the orchestrator performs it once on their behalf).
+fn broadcast_fragment_tree(
+    sim: &mut Simulator<'_>,
+    tau: &BfsTree,
+    mst: &MstResult,
+    rt: NodeId,
+) -> FragTree {
+    let g = sim.graph();
+    let frag = &mst.base_fragment_of;
+    let external: HashSet<EdgeId> = mst.external_edges.iter().copied().collect();
+    // Each endpoint of an external edge contributes (fragment, vertex),
+    // keyed by (edge, side); 2 items per edge, ≤ 2√n total.
+    let (table, _) = collective::gather(sim, tau, |v| {
+        let mut out: Vec<collective::Item> = Vec::new();
+        for &(u, _, e) in g.neighbors(v) {
+            if external.contains(&e) {
+                let side = u64::from(v > u);
+                out.push((pack2(e as u64, side), [frag[v], v as u64]));
+            }
+        }
+        out
+    });
+    let bcast: Vec<collective::Item> = table.iter().map(|(&k, &v)| (k, v)).collect();
+    let (recv, _) = collective::broadcast(sim, tau, bcast);
+    debug_assert!(recv.iter().all(|r| r.len() == table.len()));
+
+    // Local assembly.
+    let mut sides: HashMap<EdgeId, [(u64, NodeId); 2]> = HashMap::new();
+    for (&key, &val) in &table {
+        let (e, side) = unpack2(key);
+        let entry = sides.entry(e as EdgeId).or_insert([(u64::MAX, 0), (u64::MAX, 0)]);
+        entry[side as usize] = (val[0], val[1] as NodeId);
+    }
+    let mut edges: Vec<(EdgeId, (u64, NodeId), (u64, NodeId))> = sides
+        .into_iter()
+        .map(|(e, [a, b])| {
+            assert!(a.0 != u64::MAX && b.0 != u64::MAX, "external edge reported once");
+            (e, a, b)
+        })
+        .collect();
+    edges.sort_by_key(|&(e, _, _)| e);
+
+    let root_frag = frag[rt];
+    let mut adj: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, &(_, (fa, _), (fb, _))) in edges.iter().enumerate() {
+        adj.entry(fa).or_default().push(i);
+        adj.entry(fb).or_default().push(i);
+    }
+    let mut ft = FragTree {
+        root_of: HashMap::from([(root_frag, rt)]),
+        parent_frag: HashMap::new(),
+        ext_children_at: HashMap::new(),
+        order: vec![root_frag],
+    };
+    let mut queue = VecDeque::from([root_frag]);
+    let mut seen = HashSet::from([root_frag]);
+    while let Some(f) = queue.pop_front() {
+        for &i in adj.get(&f).into_iter().flatten() {
+            let (_, (fa, va), (fb, vb)) = edges[i];
+            let (cf, cv, attach) = if fa == f { (fb, vb, va) } else { (fa, va, vb) };
+            if seen.insert(cf) {
+                ft.root_of.insert(cf, cv);
+                ft.parent_frag.insert(cf, f);
+                ft.ext_children_at.entry(attach).or_default().push((cf, cv));
+                ft.order.push(cf);
+                queue.push_back(cf);
+            }
+        }
+    }
+    assert_eq!(seen.len(), ft.order.len());
+    ft
+}
+
+/// Steps 3–8 for one weight function; returns per-vertex visit "times"
+/// of all appearances, in traversal order.
+fn tour_times(
+    sim: &mut Simulator<'_>,
+    tau: &BfsTree,
+    views: &[FragView],
+    ft: &FragTree,
+    frag: &[u64],
+    wf: &dyn Fn(NodeId, NodeId) -> Weight,
+) -> Vec<Vec<Weight>> {
+    let n = views.len();
+    let parent_weight =
+        |v: NodeId| -> Weight { views[v].parent.map(|p| wf(v, p)).unwrap_or(0) };
+
+    // (3) local tour lengths ℓ(v): child sends ℓ(child) + 2·w(child, v).
+    let (ell, _) = passes::up_pass_full(
+        sim,
+        views,
+        |_| [0, 0, 0],
+        |a, b| [a[0] + b[0], 0, 0],
+        |v| {
+            let wp = 2 * parent_weight(v);
+            move |val: Val| [val[0] + wp, 0, 0]
+        },
+    );
+
+    // (4) gather + broadcast {ℓ(r_i)}; derive g(r_i) over T′ locally.
+    let (ltable, _) = collective::gather(sim, tau, |v| {
+        if views[v].parent.is_none() {
+            vec![(frag[v], [ell[v].0[0], 0])]
+        } else {
+            Vec::new()
+        }
+    });
+    let bcast: Vec<collective::Item> = ltable.iter().map(|(&k, &v)| (k, v)).collect();
+    let (recv, _) = collective::broadcast(sim, tau, bcast);
+    debug_assert!(recv.iter().all(|r| r.len() == ltable.len()));
+
+    // external-edge weight between a child fragment's root and its
+    // attach vertex, under the current weight function
+    let mut attach_of: HashMap<u64, NodeId> = HashMap::new();
+    for (&attach, children) in &ft.ext_children_at {
+        for &(cf, _) in children {
+            attach_of.insert(cf, attach);
+        }
+    }
+    let ext_w = |cf: u64| -> Weight { wf(attach_of[&cf], ft.root_of[&cf]) };
+
+    let mut children_of: HashMap<u64, Vec<u64>> = HashMap::new();
+    for (&f, &pf) in &ft.parent_frag {
+        children_of.entry(pf).or_default().push(f);
+    }
+    let mut g_root: HashMap<u64, Weight> = HashMap::new();
+    for &f in ft.order.iter().rev() {
+        let mut total = ltable[&f][0];
+        for &cf in children_of.get(&f).into_iter().flatten() {
+            total += g_root[&cf] + 2 * ext_w(cf);
+        }
+        g_root.insert(f, total);
+    }
+
+    // (5) global tour lengths g(v).
+    let g_root_ref = &g_root;
+    let (gvals, _) = passes::up_pass_full(
+        sim,
+        views,
+        |v| {
+            let own: Weight = ft
+                .ext_children_at
+                .get(&v)
+                .into_iter()
+                .flatten()
+                .map(|&(cf, croot)| g_root_ref[&cf] + 2 * wf(v, croot))
+                .sum();
+            [own, 0, 0]
+        },
+        |a, b| [a[0] + b[0], 0, 0],
+        |v| {
+            let wp = 2 * parent_weight(v);
+            move |val: Val| [val[0] + wp, 0, 0]
+        },
+    );
+    for v in 0..n {
+        if views[v].parent.is_none() {
+            debug_assert_eq!(
+                gvals[v].0[0], g_root[&frag[v]],
+                "distributed g(r_i) disagrees with the local T′ computation"
+            );
+        }
+    }
+
+    // T-children of every vertex in id order with m = g(child) + 2w.
+    let mut t_children: Vec<Vec<(NodeId, Weight, Weight)>> = vec![Vec::new(); n];
+    for v in 0..n {
+        for &(child, mval) in &gvals[v].1 {
+            t_children[v].push((child, mval[0], wf(v, child)));
+        }
+        for &(cf, croot) in ft.ext_children_at.get(&v).into_iter().flatten() {
+            t_children[v].push((croot, g_root[&cf] + 2 * wf(v, croot), wf(v, croot)));
+        }
+        t_children[v].sort_by_key(|&(c, _, _)| c);
+    }
+
+    // (6) interval starts: top-down, fragment-relative; external
+    // children receive (over the external edge) their interval inside
+    // the parent fragment but do not propagate it.
+    let t_children_ref = &t_children;
+    let (starts, _) = passes::down_pass(
+        sim,
+        views,
+        |_| [0, 0, 0],
+        |v| {
+            let ch = t_children_ref[v].clone();
+            move |_, val: Val| {
+                let mut acc = val[0];
+                let mut out = Vec::with_capacity(ch.len());
+                for &(c, m, w) in &ch {
+                    out.push((c, [acc + w, 0, 0]));
+                    acc += m;
+                }
+                out
+            }
+        },
+    );
+
+    // (7) shifts: fragment roots report the start of their interval in
+    // the parent fragment; rt resolves the recursion and broadcasts.
+    let (btable, _) = collective::gather(sim, tau, |v| {
+        if views[v].parent.is_none() && starts[v].len() > 1 {
+            vec![(frag[v], [starts[v][1][0], 0])]
+        } else {
+            Vec::new()
+        }
+    });
+    let shift_items: Vec<collective::Item> = {
+        let mut s: HashMap<u64, Weight> = HashMap::new();
+        for &f in &ft.order {
+            match ft.parent_frag.get(&f) {
+                None => {
+                    s.insert(f, 0);
+                }
+                Some(pf) => {
+                    s.insert(f, s[pf] + btable[&f][0]);
+                }
+            }
+        }
+        s.into_iter().map(|(f, v)| (f, [v, 0])).collect()
+    };
+    let (shift_recv, _) = collective::broadcast(sim, tau, shift_items.clone());
+    debug_assert!(shift_recv.iter().all(|r| r.len() == shift_items.len()));
+    let shifts: HashMap<u64, Weight> =
+        shift_items.into_iter().map(|(f, [v, _])| (f, v)).collect();
+
+    // (8) local visit times: entry, then one appearance after each
+    // child's subtree.
+    (0..n)
+        .map(|v| {
+            let entry = shifts[&frag[v]] + starts[v][0][0];
+            let mut out = Vec::with_capacity(t_children[v].len() + 1);
+            let mut t = entry;
+            out.push(t);
+            for &(_, m, _) in &t_children[v] {
+                t += m;
+                out.push(t);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Computes the distributed Euler tour of the MST rooted at `rt`
+/// (Lemma 2: `Õ(√n + D)` rounds given the fragment structure).
+///
+/// `mst` must come from [`crate::boruvka::distributed_mst`] on the same
+/// graph; `tau` is the shared BFS tree.
+pub fn distributed_euler_tour(
+    sim: &mut Simulator<'_>,
+    tau: &BfsTree,
+    mst: &MstResult,
+    rt: NodeId,
+) -> DistEulerTour {
+    let start = sim.total();
+    let g: &Graph = sim.graph();
+    let n = g.n();
+    if n == 0 {
+        return DistEulerTour {
+            appearances: Vec::new(),
+            total_length: 0,
+            stats: RunStats::default(),
+        };
+    }
+
+    // (1) broadcast T′.
+    let ft = broadcast_fragment_tree(sim, tau, mst, rt);
+    let frag = &mst.base_fragment_of;
+
+    // (2) re-root base fragments at r_i.
+    let root_of = ft.root_of.clone();
+    let (views, _) = passes::reroot(sim, &mst.base_views, |v| root_of[&frag[v]] == v);
+
+    // (3–8) weighted pass for times, unit pass for indices.
+    let weight_of = |a: NodeId, b: NodeId| -> Weight {
+        g.neighbors(a)
+            .iter()
+            .find(|&&(u, _, _)| u == b)
+            .map(|&(_, w, _)| w)
+            .expect("tree edge exists")
+    };
+    let times = tour_times(sim, tau, &views, &ft, frag, &weight_of);
+    let unit = |_: NodeId, _: NodeId| 1 as Weight;
+    let indices = tour_times(sim, tau, &views, &ft, frag, &unit);
+
+    let mut appearances: Vec<Vec<(usize, Weight)>> = vec![Vec::new(); n];
+    let mut total_length = 0;
+    for v in 0..n {
+        assert_eq!(times[v].len(), indices[v].len());
+        for (&t, &i) in times[v].iter().zip(&indices[v]) {
+            appearances[v].push((i as usize, t));
+            total_length = total_length.max(t);
+        }
+        appearances[v].sort_unstable();
+    }
+
+    let mut stats = sim.total();
+    stats.rounds -= start.rounds;
+    stats.messages -= start.messages;
+    DistEulerTour { appearances, total_length, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boruvka::distributed_mst;
+    use congest::tree::build_bfs_tree;
+    use lightgraph::tree::RootedTree;
+    use lightgraph::{generators, Graph};
+
+    fn check_tour(g: &Graph, rt: NodeId, seed: u64) -> DistEulerTour {
+        let mut sim = Simulator::new(g);
+        let (tau, _) = build_bfs_tree(&mut sim, rt);
+        let mst = distributed_mst(&mut sim, &tau, rt, seed);
+        let tour = distributed_euler_tour(&mut sim, &tau, &mst, rt);
+        // sequential reference on the same (unique) MST
+        let t = RootedTree::from_edge_ids(g, &mst.mst_edges, rt);
+        let reference = t.euler_tour();
+        let (seq, times) = tour.assemble();
+        assert_eq!(seq, reference.seq, "tour sequence mismatch");
+        assert_eq!(times, reference.times, "tour times mismatch");
+        assert_eq!(tour.total_length, 2 * mst.weight);
+        tour
+    }
+
+    #[test]
+    fn tour_matches_sequential_on_random_graphs() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(50, 0.1, 30, seed);
+            check_tour(&g, 0, seed);
+        }
+    }
+
+    #[test]
+    fn tour_matches_on_structured_graphs() {
+        check_tour(&generators::path(30, 4), 0, 1);
+        check_tour(&generators::star(20, 9, 2), 0, 2);
+        check_tour(&generators::grid(6, 7, 15, 3), 5, 3);
+        check_tour(&generators::random_geometric(40, 0.3, 4), 7, 4);
+        check_tour(&generators::caterpillar(10, 2, 5), 3, 5);
+    }
+
+    #[test]
+    fn tour_of_tiny_graphs() {
+        check_tour(&Graph::from_edges(2, [(0, 1, 5)]).unwrap(), 0, 0);
+        check_tour(&Graph::from_edges(3, [(0, 1, 2), (1, 2, 3)]).unwrap(), 1, 0);
+    }
+
+    #[test]
+    fn every_vertex_knows_only_its_own_appearances() {
+        let g = generators::erdos_renyi(40, 0.12, 25, 5);
+        let tour = check_tour(&g, 0, 5);
+        let t: usize = tour.appearances.iter().map(Vec::len).sum();
+        assert_eq!(t, 2 * g.n() - 1);
+        for apps in &tour.appearances {
+            for w in apps.windows(2) {
+                assert!(w[0].0 < w[1].0, "appearances must be sorted and distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_worked_example_lengths() {
+        // Figure 1's invariants on a concrete instance: with unit
+        // weights, ℓ(r_1) of the whole tree as one fragment is 2(n-1)
+        // and g values decompose along fragments. We verify the
+        // distributed g(rt) equals twice the MST weight on a unit path.
+        let g = generators::path(12, 1);
+        let tour = check_tour(&g, 0, 7);
+        assert_eq!(tour.total_length, 2 * 11);
+    }
+}

@@ -1,0 +1,335 @@
+//! Distributed Bellman–Ford: single-source and multi-source, with
+//! optional distance and hop bounds and per-source path reporting.
+//!
+//! These are the workhorses behind the approximate SPTs of §4, the net
+//! deactivation of §6, and the ∆-bounded multi-source explorations of
+//! §7. Congestion from overlapping sources is charged automatically by
+//! the simulator's per-edge queues.
+
+use congest::{Ctx, Message, Program, RunStats, Simulator};
+use lightgraph::{NodeId, Weight, INF};
+use std::collections::HashMap;
+
+const TAG_RELAX: u64 = 20;
+
+/// Result of a single-source run.
+#[derive(Debug, Clone)]
+pub struct SsspResult {
+    /// Distance estimates (exact within the bounds; [`INF`] beyond).
+    pub dist: Vec<Weight>,
+    /// Predecessor towards the source along a shortest path.
+    pub parent: Vec<Option<NodeId>>,
+    /// Rounds/messages of this computation.
+    pub stats: RunStats,
+}
+
+struct BellmanFord {
+    is_source: bool,
+    dist: Weight,
+    hops: u64,
+    parent: Option<NodeId>,
+    bound: Weight,
+    hop_bound: u64,
+}
+
+impl Program for BellmanFord {
+    type Output = (Weight, Option<NodeId>);
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if self.is_source {
+            self.dist = 0;
+            self.hops = 0;
+            if self.hop_bound > 0 {
+                ctx.send_all(Message::words(&[TAG_RELAX, 0, 0]));
+            }
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        let mut improved = false;
+        for (from, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_RELAX);
+            let w = ctx
+                .neighbors()
+                .iter()
+                .find(|&&(u, _, _)| u == *from)
+                .map(|&(_, w, _)| w)
+                .expect("sender is a neighbor");
+            let nd = msg.word(1).saturating_add(w);
+            // Hop counts travel in the message: congestion may delay a
+            // relaxation past round h without consuming hop budget.
+            let nh = msg.word(2) + 1;
+            if nd < self.dist && nd <= self.bound {
+                self.dist = nd;
+                self.hops = nh;
+                self.parent = Some(*from);
+                improved = true;
+            }
+        }
+        if improved && self.hops < self.hop_bound {
+            ctx.send_all(Message::words(&[TAG_RELAX, self.dist, self.hops]));
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        (self.dist, self.parent)
+    }
+}
+
+/// Exact single-source shortest paths by distributed Bellman–Ford.
+///
+/// Runs until quiescence: the number of rounds is the weighted
+/// shortest-path hop depth, which the paper's substitutes avoid — see
+/// [`crate::landmark`] for the `Õ(√n + D)`-round version.
+pub fn bellman_ford(sim: &mut Simulator<'_>, src: NodeId) -> SsspResult {
+    bounded_bellman_ford(sim, src, INF, u64::MAX)
+}
+
+/// Single-source Bellman–Ford restricted to distance ≤ `bound` and at
+/// most `hop_bound` relaxation rounds.
+pub fn bounded_bellman_ford(
+    sim: &mut Simulator<'_>,
+    src: NodeId,
+    bound: Weight,
+    hop_bound: u64,
+) -> SsspResult {
+    let (out, stats) = sim.run(|v, _| BellmanFord {
+        is_source: v == src,
+        dist: INF,
+        hops: 0,
+        parent: None,
+        bound,
+        hop_bound,
+    });
+    let (dist, parent) = out.into_iter().unzip();
+    SsspResult { dist, parent, stats }
+}
+
+/// Result of a multi-source run: per-vertex tables keyed by source.
+#[derive(Debug, Clone)]
+pub struct MultiSourceResult {
+    /// `tables[v][src] = (distance, predecessor towards src)`.
+    pub tables: Vec<HashMap<NodeId, (Weight, Option<NodeId>)>>,
+    /// Rounds/messages of this computation.
+    pub stats: RunStats,
+}
+
+impl MultiSourceResult {
+    /// Distance from `src` to `v`, if the exploration reached it.
+    pub fn dist(&self, src: NodeId, v: NodeId) -> Option<Weight> {
+        self.tables[v].get(&src).map(|&(d, _)| d)
+    }
+
+    /// Nearest source to `v` with its distance.
+    pub fn nearest(&self, v: NodeId) -> Option<(NodeId, Weight)> {
+        self.tables[v]
+            .iter()
+            .map(|(&s, &(d, _))| (s, d))
+            .min_by_key(|&(s, d)| (d, s))
+    }
+
+    /// Walks predecessors from `v` back to `src`, returning the vertex
+    /// path `[src, …, v]`, or `None` if `src` never reached `v`.
+    pub fn path_from(&self, src: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+        self.tables[v].get(&src)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(&(_, Some(p))) = self.tables[cur].get(&src) {
+            path.push(p);
+            cur = p;
+        }
+        (cur == src).then(|| {
+            path.reverse();
+            path
+        })
+    }
+}
+
+const TAG_MRELAX: u64 = 21;
+
+struct MultiBellmanFord {
+    source_here: bool,
+    bound: Weight,
+    hop_bound: u64,
+    table: HashMap<NodeId, (Weight, Option<NodeId>)>,
+    hops: HashMap<NodeId, u64>,
+}
+
+impl Program for MultiBellmanFord {
+    type Output = HashMap<NodeId, (Weight, Option<NodeId>)>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if self.source_here {
+            self.table.insert(ctx.node(), (0, None));
+            self.hops.insert(ctx.node(), 0);
+            if self.hop_bound > 0 {
+                ctx.send_all(Message::words(&[TAG_MRELAX, ctx.node() as u64, 0, 0]));
+            }
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        let mut updates: Vec<(NodeId, Weight, u64)> = Vec::new();
+        for (from, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_MRELAX);
+            let src = msg.word(1) as NodeId;
+            let w = ctx
+                .neighbors()
+                .iter()
+                .find(|&&(u, _, _)| u == *from)
+                .map(|&(_, w, _)| w)
+                .expect("sender is a neighbor");
+            let nd = msg.word(2).saturating_add(w);
+            let nh = msg.word(3) + 1;
+            if nd > self.bound {
+                continue;
+            }
+            let better = self.table.get(&src).map(|&(d, _)| nd < d).unwrap_or(true);
+            if better {
+                self.table.insert(src, (nd, Some(*from)));
+                self.hops.insert(src, nh);
+                updates.push((src, nd, nh));
+            }
+        }
+        for (src, d, h) in updates {
+            if h < self.hop_bound {
+                ctx.send_all(Message::words(&[TAG_MRELAX, src as u64, d, h]));
+            }
+        }
+    }
+
+    fn finish(self) -> Self::Output {
+        self.table
+    }
+}
+
+/// Multi-source distance/hop-bounded Bellman–Ford with per-source
+/// predecessor (path) reporting — the [EN16] hopset-exploration
+/// substitute used by §7 (see DESIGN.md).
+///
+/// All sources explore in parallel; the per-edge bandwidth cap charges
+/// the congestion of overlapping explorations honestly.
+pub fn multi_source_bounded(
+    sim: &mut Simulator<'_>,
+    sources: &[NodeId],
+    bound: Weight,
+    hop_bound: u64,
+) -> MultiSourceResult {
+    let src_set: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
+    let (tables, stats) = sim.run(|v, _| MultiBellmanFord {
+        source_here: src_set.contains(&v),
+        bound,
+        hop_bound,
+        table: HashMap::new(),
+        hops: HashMap::new(),
+    });
+    MultiSourceResult { tables, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightgraph::{dijkstra, generators};
+
+    #[test]
+    fn exact_bf_matches_dijkstra() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(40, 0.15, 30, seed);
+            let mut sim = Simulator::new(&g);
+            let r = bellman_ford(&mut sim, 0);
+            let oracle = dijkstra::shortest_paths(&g, 0);
+            assert_eq!(r.dist, oracle.dist);
+        }
+    }
+
+    #[test]
+    fn parents_form_shortest_path_tree() {
+        let g = generators::grid(6, 6, 9, 1);
+        let mut sim = Simulator::new(&g);
+        let r = bellman_ford(&mut sim, 3);
+        for v in 0..g.n() {
+            if v == 3 {
+                assert!(r.parent[v].is_none());
+                continue;
+            }
+            let p = r.parent[v].expect("connected");
+            let w = g
+                .neighbors(v)
+                .iter()
+                .find(|&&(u, _, _)| u == p)
+                .map(|&(_, w, _)| w)
+                .unwrap();
+            assert_eq!(r.dist[v], r.dist[p] + w, "tight tree edge at {v}");
+        }
+    }
+
+    #[test]
+    fn distance_bound_truncates() {
+        let g = generators::path(6, 10);
+        let mut sim = Simulator::new(&g);
+        let r = bounded_bellman_ford(&mut sim, 0, 25, u64::MAX);
+        assert_eq!(r.dist[0], 0);
+        assert_eq!(r.dist[2], 20);
+        assert_eq!(r.dist[3], INF);
+    }
+
+    #[test]
+    fn hop_bound_truncates() {
+        let g = generators::path(8, 1);
+        let mut sim = Simulator::new(&g);
+        let r = bounded_bellman_ford(&mut sim, 0, INF, 3);
+        assert_eq!(r.dist[3], 3);
+        assert_eq!(r.dist[4], INF, "4 hops exceeds the bound");
+    }
+
+    #[test]
+    fn multi_source_matches_per_source_dijkstra() {
+        let g = generators::erdos_renyi(35, 0.2, 20, 4);
+        let sources = [0, 7, 19];
+        let mut sim = Simulator::new(&g);
+        let r = multi_source_bounded(&mut sim, &sources, INF, u64::MAX);
+        for &s in &sources {
+            let oracle = dijkstra::shortest_paths(&g, s);
+            for v in 0..g.n() {
+                assert_eq!(r.dist(s, v), Some(oracle.dist[v]), "src {s}, v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_bound_limits_tables() {
+        let g = generators::path(10, 5);
+        let mut sim = Simulator::new(&g);
+        let r = multi_source_bounded(&mut sim, &[0, 9], 12, u64::MAX);
+        assert_eq!(r.dist(0, 2), Some(10));
+        assert_eq!(r.dist(0, 3), None, "15 > bound");
+        assert_eq!(r.nearest(4), None, "vertex 4 is beyond the bound from both sources");
+        assert_eq!(r.nearest(1), Some((0, 5)));
+    }
+
+    #[test]
+    fn multi_source_paths_are_real_and_shortest() {
+        let g = generators::random_geometric(30, 0.4, 2);
+        let sources = [1, 5];
+        let mut sim = Simulator::new(&g);
+        let r = multi_source_bounded(&mut sim, &sources, INF, u64::MAX);
+        let oracle = dijkstra::shortest_paths(&g, 1);
+        for v in 0..g.n() {
+            let path = r.path_from(1, v).expect("connected");
+            assert_eq!(*path.first().unwrap(), 1);
+            assert_eq!(*path.last().unwrap(), v);
+            // consecutive path vertices are adjacent; total = dist
+            let mut total = 0;
+            for pair in path.windows(2) {
+                let w = g
+                    .neighbors(pair[0])
+                    .iter()
+                    .find(|&&(u, _, _)| u == pair[1])
+                    .map(|&(_, w, _)| w)
+                    .expect("path uses real edges");
+                total += w;
+            }
+            assert_eq!(total, oracle.dist[v]);
+        }
+    }
+}

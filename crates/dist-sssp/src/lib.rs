@@ -1,0 +1,24 @@
+//! Distributed shortest paths and Least-Element lists.
+//!
+//! The substrates consumed by §4 (SLT), §6 (nets) and §7 (doubling
+//! spanners) of *Distributed Construction of Light Networks*:
+//!
+//! * [`bellman`] — exact and distance/hop-bounded Bellman–Ford, single
+//!   and multi source, with per-source path reporting (the [EN16]
+//!   hopset-exploration substitute),
+//! * [`landmark`] — `Õ(√n + D)`-style approximate shortest-path trees
+//!   (the [BKKL17] substitute),
+//! * [`le_lists`] — distributed Cohen Least-Element lists w.r.t. an
+//!   auxiliary (1+δ)-approximation (the [FL16] substitute).
+//!
+//! See DESIGN.md §3 for the substitution rationale.
+
+pub mod bellman;
+pub mod landmark;
+pub mod le_lists;
+
+pub use bellman::{
+    bellman_ford, bounded_bellman_ford, multi_source_bounded, MultiSourceResult, SsspResult,
+};
+pub use landmark::{approx_spt, ApproxSpt, SptConfig};
+pub use le_lists::{le_lists, LeLists};

@@ -1,0 +1,156 @@
+//! Exact shortest paths — the sequential oracle every distributed
+//! algorithm in this repository is validated against.
+
+use crate::{EdgeId, Graph, NodeId, Weight, INF};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Source vertex.
+    pub src: NodeId,
+    /// `dist[v]` = d_G(src, v), or [`INF`] if unreachable.
+    pub dist: Vec<Weight>,
+    /// `parent[v]` = `(predecessor, edge id)` on a shortest path, `None`
+    /// for the source and unreachable vertices.
+    pub parent: Vec<Option<(NodeId, EdgeId)>>,
+}
+
+impl ShortestPaths {
+    /// Reconstructs the shortest path from the source to `v` as a list of
+    /// edge ids, or `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<EdgeId>> {
+        if self.dist[v] >= INF {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = v;
+        while let Some((p, e)) = self.parent[cur] {
+            path.push(e);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Dijkstra from `src` over the whole graph.
+pub fn shortest_paths(g: &Graph, src: NodeId) -> ShortestPaths {
+    bounded_shortest_paths(g, src, INF)
+}
+
+/// Dijkstra from `src`, exploring only vertices within distance `bound`
+/// (inclusive). Vertices farther than `bound` report [`INF`].
+pub fn bounded_shortest_paths(g: &Graph, src: NodeId, bound: Weight) -> ShortestPaths {
+    let n = g.n();
+    let mut dist = vec![INF; n];
+    let mut parent = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    dist[src] = 0;
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w, e) in g.neighbors(u) {
+            let nd = d.saturating_add(w);
+            if nd < dist[v] && nd <= bound {
+                dist[v] = nd;
+                parent[v] = Some((u, e));
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    ShortestPaths { src, dist, parent }
+}
+
+/// Exact distance between a single pair.
+pub fn distance(g: &Graph, u: NodeId, v: NodeId) -> Weight {
+    shortest_paths(g, u).dist[v]
+}
+
+/// All-pairs shortest distances by repeated Dijkstra. Quadratic memory;
+/// intended for test-sized instances only.
+pub fn all_pairs(g: &Graph) -> Vec<Vec<Weight>> {
+    (0..g.n()).map(|s| shortest_paths(g, s).dist).collect()
+}
+
+/// The weighted eccentricity of `src`.
+pub fn eccentricity(g: &Graph, src: NodeId) -> Weight {
+    shortest_paths(g, src).dist.into_iter().filter(|&d| d < INF).max().unwrap_or(0)
+}
+
+/// An upper bound on the weighted diameter via double-sweep: eccentricity
+/// of the farthest vertex from vertex 0, times one.
+pub fn weighted_diameter_approx(g: &Graph) -> Weight {
+    if g.n() == 0 {
+        return 0;
+    }
+    let first = shortest_paths(g, 0);
+    let far = (0..g.n())
+        .filter(|&v| first.dist[v] < INF)
+        .max_by_key(|&v| first.dist[v])
+        .unwrap_or(0);
+    eccentricity(g, far)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -1- 2 -3- 3, 0 -10- 3
+        Graph::from_edges(4, [(0, 1, 1), (1, 3, 1), (0, 2, 1), (2, 3, 3), (0, 3, 10)]).unwrap()
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        let g = diamond();
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn path_reconstruction_is_shortest() {
+        let g = diamond();
+        let sp = shortest_paths(&g, 0);
+        let path = sp.path_to(3).unwrap();
+        let total: Weight = path.iter().map(|&e| g.edge(e).w).sum();
+        assert_eq!(total, 2);
+        assert_eq!(path.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_is_inf() {
+        let g = Graph::from_edges(3, [(0, 1, 5)]).unwrap();
+        let sp = shortest_paths(&g, 0);
+        assert_eq!(sp.dist[2], INF);
+        assert!(sp.path_to(2).is_none());
+    }
+
+    #[test]
+    fn bounded_search_stops_at_bound() {
+        let g = Graph::from_edges(4, [(0, 1, 2), (1, 2, 2), (2, 3, 2)]).unwrap();
+        let sp = bounded_shortest_paths(&g, 0, 4);
+        assert_eq!(sp.dist, vec![0, 2, 4, INF]);
+    }
+
+    #[test]
+    fn all_pairs_is_symmetric() {
+        let g = diamond();
+        let ap = all_pairs(&g);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(ap[u][v], ap[v][u]);
+            }
+        }
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let g = Graph::from_edges(3, [(0, 1, 3), (1, 2, 4)]).unwrap();
+        assert_eq!(eccentricity(&g, 0), 7);
+        assert_eq!(weighted_diameter_approx(&g), 7);
+    }
+}

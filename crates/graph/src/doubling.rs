@@ -1,0 +1,140 @@
+//! Doubling-dimension estimation (§1.3, §7).
+//!
+//! A graph has doubling dimension `ddim` if every ball `B(v, 2r)` can be
+//! covered by `2^ddim` balls of radius `r`. We estimate the dimension by
+//! greedy covering over sampled centers and radii — an upper bound on the
+//! optimal cover size, hence an upper estimate of the dimension, which is
+//! the conservative direction for the lightness bounds of Section 7.
+
+use crate::{dijkstra, Graph, NodeId, Weight, INF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Greedily covers `points` (each within distance `2r` of some center)
+/// with balls of radius `r`, using distances from `dist_from`, and
+/// returns the number of balls used.
+fn greedy_cover(g: &Graph, points: &[NodeId], r: Weight) -> usize {
+    let mut uncovered: Vec<NodeId> = points.to_vec();
+    let mut balls = 0;
+    while let Some(&c) = uncovered.first() {
+        balls += 1;
+        let d = dijkstra::bounded_shortest_paths(g, c, r);
+        uncovered.retain(|&p| d.dist[p] > r);
+    }
+    balls
+}
+
+/// Estimates the doubling dimension by sampling `samples` (center,
+/// radius) pairs and greedily covering each `B(v, 2r)` with `r`-balls.
+///
+/// Returns `log2` of the largest cover size observed — an empirical upper
+/// estimate of `ddim`. Deterministic in `seed`.
+pub fn estimate_doubling_dimension(g: &Graph, samples: usize, seed: u64) -> f64 {
+    if g.n() <= 1 {
+        return 0.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let max_r = dijkstra::weighted_diameter_approx(g).max(2);
+    let mut worst = 1usize;
+    for _ in 0..samples {
+        let v = rng.gen_range(0..g.n());
+        // Sample radius log-uniformly in [1, max_r / 2].
+        let hi = (max_r / 2).max(2);
+        let exp = rng.gen_range(0.0..=(hi as f64).ln());
+        let r = (exp.exp() as Weight).clamp(1, hi);
+        let dist = dijkstra::bounded_shortest_paths(g, v, 2 * r);
+        let ball: Vec<NodeId> = (0..g.n()).filter(|&u| dist.dist[u] <= 2 * r).collect();
+        if ball.len() > 1 {
+            worst = worst.max(greedy_cover(g, &ball, r));
+        }
+    }
+    (worst as f64).log2()
+}
+
+/// Number of `r`-balls the greedy cover uses for `B(center, big_r)` —
+/// deterministic, used by tests and the doubling experiments.
+pub fn cover_number(g: &Graph, center: NodeId, big_r: Weight, r: Weight) -> usize {
+    let d = dijkstra::bounded_shortest_paths(g, center, big_r);
+    let ball: Vec<NodeId> = (0..g.n()).filter(|&u| d.dist[u] <= big_r).collect();
+    greedy_cover(g, &ball, r)
+}
+
+/// The packing lemma check (Lemma 6): in a ball of radius `R`, any
+/// `r`-separated set has at most `(2R/r)^O(ddim)` points. Returns the
+/// size of a maximal `r`-separated subset of `B(center, R)` (greedy).
+pub fn packing_number(g: &Graph, center: NodeId, big_r: Weight, r: Weight) -> usize {
+    let d = dijkstra::bounded_shortest_paths(g, center, big_r);
+    let mut ball: Vec<NodeId> = (0..g.n()).filter(|&u| d.dist[u] <= big_r).collect();
+    let mut chosen: Vec<NodeId> = Vec::new();
+    while let Some(&c) = ball.first() {
+        chosen.push(c);
+        let dc = dijkstra::bounded_shortest_paths(g, c, r);
+        ball.retain(|&p| dc.dist[p] > r && dc.dist[p] != 0);
+        ball.retain(|&p| p != c);
+    }
+    // chosen is r-separated by construction
+    debug_assert!(is_separated(g, &chosen, r));
+    chosen.len()
+}
+
+/// Whether `points` are pairwise more than `r` apart in `g`.
+pub fn is_separated(g: &Graph, points: &[NodeId], r: Weight) -> bool {
+    for &p in points {
+        let d = dijkstra::bounded_shortest_paths(g, p, r);
+        for &q in points {
+            if p != q && d.dist[q] <= r && d.dist[q] < INF {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_graph_has_dimension_about_one() {
+        let g = generators::path(128, 3);
+        let d = estimate_doubling_dimension(&g, 20, 1);
+        assert!(d <= 2.5, "path dimension estimate too high: {d}");
+    }
+
+    #[test]
+    fn geometric_graph_has_bounded_dimension() {
+        let g = generators::random_geometric(128, 0.2, 2);
+        let d = estimate_doubling_dimension(&g, 15, 3);
+        assert!(d <= 6.0, "plane dimension estimate too high: {d}");
+    }
+
+    #[test]
+    fn star_graph_has_high_cover_number() {
+        // A star with weight-2 edges: B(center, 2) contains all 64 leaves,
+        // and 1-balls are singletons, so the cover number is n — the star
+        // has doubling dimension ~log n at this scale.
+        let mut g = Graph::new(65);
+        for v in 1..65 {
+            g.add_edge(0, v, 2).unwrap();
+        }
+        assert_eq!(cover_number(&g, 0, 2, 1), 65);
+        // and the plane-like grid stays small at a comparable scale
+        let grid = generators::grid(8, 8, 1, 0);
+        assert!(cover_number(&grid, 0, 4, 2) <= 16);
+    }
+
+    #[test]
+    fn packing_respects_separation() {
+        let g = generators::random_geometric(60, 0.3, 5);
+        let k = packing_number(&g, 0, 500_000, 100_000);
+        assert!(k >= 1);
+    }
+
+    #[test]
+    fn separated_check() {
+        let g = generators::path(10, 5);
+        assert!(is_separated(&g, &[0, 3, 6], 10)); // dist 15 apart
+        assert!(!is_separated(&g, &[0, 1], 10)); // dist 5
+    }
+}

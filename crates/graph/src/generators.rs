@@ -1,0 +1,386 @@
+//! Seeded random instance generators.
+//!
+//! Every generator is deterministic in its seed, always returns a
+//! *connected* graph (the algorithms in the paper assume connectivity),
+//! and uses integer weights in `[1, max_w]` (§2: minimum weight 1,
+//! maximum poly(n)).
+
+use crate::{Graph, NodeId, Weight};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A uniformly random spanning tree skeleton (random attachment order),
+/// guaranteeing connectivity of graphs built on top of it.
+fn random_tree_edges(n: usize, max_w: Weight, rng: &mut StdRng) -> Vec<(NodeId, NodeId, Weight)> {
+    let mut perm: Vec<NodeId> = (0..n).collect();
+    perm.shuffle(rng);
+    (1..n)
+        .map(|i| {
+            let parent = perm[rng.gen_range(0..i)];
+            (perm[i], parent, rng.gen_range(1..=max_w))
+        })
+        .collect()
+}
+
+/// Connected Erdős–Rényi graph: a random spanning tree plus each other
+/// pair independently with probability `p`, weights uniform in
+/// `[1, max_w]`.
+pub fn erdos_renyi(n: usize, p: f64, max_w: Weight, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(max_w >= 1);
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    let mut present = std::collections::HashSet::new();
+    for (u, v, w) in random_tree_edges(n, max_w, &mut r) {
+        present.insert((u.min(v), u.max(v)));
+        g.add_edge(u, v, w).expect("tree edge valid");
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if !present.contains(&(u, v)) && r.gen_bool(p) {
+                g.add_edge(u, v, r.gen_range(1..=max_w)).expect("valid edge");
+            }
+        }
+    }
+    g
+}
+
+/// Random tree plus `chords` extra random edges; the canonical
+/// "spanner-hostile" family (the MST is light, chords are heavy).
+pub fn tree_plus_chords(n: usize, chords: usize, max_w: Weight, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    let mut present = std::collections::HashSet::new();
+    for (u, v, w) in random_tree_edges(n, max_w, &mut r) {
+        present.insert((u.min(v), u.max(v)));
+        g.add_edge(u, v, w).expect("tree edge valid");
+    }
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < chords && attempts < 100 * chords.max(1) && n >= 2 {
+        attempts += 1;
+        let u = r.gen_range(0..n);
+        let v = r.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if present.insert(key) {
+            g.add_edge(u, v, r.gen_range(1..=max_w)).expect("valid edge");
+            added += 1;
+        }
+    }
+    g
+}
+
+/// Scale applied to unit-square coordinates so that geometric weights are
+/// integral.
+pub const GEO_SCALE: f64 = 1_000_000.0;
+
+/// Random geometric graph on the unit square (doubling dimension ≈ 2):
+/// `n` uniform points, an edge between every pair within Euclidean
+/// distance `radius`, weight = scaled Euclidean distance. If the radius
+/// graph is disconnected, a Euclidean MST over the points is added, so
+/// the result is always connected and still metric.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let mut r = rng(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+    graph_from_points(&pts, radius)
+}
+
+/// Builds the geometric graph for an explicit point set (used by the
+/// doubling-dimension tests to construct low- and high-dimension inputs).
+pub fn graph_from_points(pts: &[(f64, f64)], radius: f64) -> Graph {
+    let n = pts.len();
+    let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    let to_weight = |d: f64| -> Weight { ((d * GEO_SCALE).round() as u64).max(1) };
+    let mut g = Graph::new(n);
+    let mut present = std::collections::HashSet::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = dist(pts[u], pts[v]);
+            if d <= radius {
+                present.insert((u, v));
+                g.add_edge(u, v, to_weight(d)).expect("valid edge");
+            }
+        }
+    }
+    if !g.is_connected() && n > 1 {
+        // Euclidean MST via Prim to stitch components while keeping the
+        // graph metric.
+        let mut in_tree = vec![false; n];
+        let mut best = vec![(f64::INFINITY, 0usize); n];
+        in_tree[0] = true;
+        for v in 1..n {
+            best[v] = (dist(pts[0], pts[v]), 0);
+        }
+        for _ in 1..n {
+            let u = (0..n)
+                .filter(|&v| !in_tree[v])
+                .min_by(|&a, &b| best[a].0.partial_cmp(&best[b].0).expect("finite"))
+                .expect("some vertex outside tree");
+            in_tree[u] = true;
+            let (d, p) = best[u];
+            let key = (u.min(p), u.max(p));
+            if present.insert(key) {
+                g.add_edge(u, p, to_weight(d)).expect("valid edge");
+            }
+            for v in 0..n {
+                if !in_tree[v] {
+                    let dv = dist(pts[u], pts[v]);
+                    if dv < best[v].0 {
+                        best[v] = (dv, u);
+                    }
+                }
+            }
+        }
+    }
+    g
+}
+
+/// `rows x cols` grid with uniform random weights in `[1, max_w]`.
+pub fn grid(rows: usize, cols: usize, max_w: Weight, seed: u64) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let mut r = rng(seed);
+    let n = rows * cols;
+    let idx = |i: usize, j: usize| i * cols + j;
+    let mut g = Graph::new(n);
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                g.add_edge(idx(i, j), idx(i, j + 1), r.gen_range(1..=max_w)).expect("valid");
+            }
+            if i + 1 < rows {
+                g.add_edge(idx(i, j), idx(i + 1, j), r.gen_range(1..=max_w)).expect("valid");
+            }
+        }
+    }
+    g
+}
+
+/// Path graph `0 - 1 - ... - (n-1)` with the given constant weight.
+pub fn path(n: usize, w: Weight) -> Graph {
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(v - 1, v, w).expect("valid");
+    }
+    g
+}
+
+/// Cycle graph with the given constant weight.
+pub fn cycle(n: usize, w: Weight) -> Graph {
+    let mut g = path(n, w);
+    if n >= 3 {
+        g.add_edge(n - 1, 0, w).expect("valid");
+    }
+    g
+}
+
+/// Star graph: vertex 0 connected to all others with weights `1..=max_w`.
+pub fn star(n: usize, max_w: Weight, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for v in 1..n {
+        g.add_edge(0, v, r.gen_range(1..=max_w)).expect("valid");
+    }
+    g
+}
+
+/// Complete graph with uniform random weights — the densest stress case.
+pub fn complete(n: usize, max_w: Weight, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            g.add_edge(u, v, r.gen_range(1..=max_w)).expect("valid");
+        }
+    }
+    g
+}
+
+/// A "caterpillar with heavy legs": a light path spine plus heavy leaf
+/// edges. Exercises the SLT tradeoff (the MST is the spine + legs, the
+/// SPT wants direct heavy edges).
+pub fn caterpillar(spine: usize, legs_per_node: usize, seed: u64) -> Graph {
+    assert!(spine >= 1);
+    let mut r = rng(seed);
+    let n = spine + spine * legs_per_node;
+    let mut g = Graph::new(n);
+    for v in 1..spine {
+        g.add_edge(v - 1, v, r.gen_range(1..=4)).expect("valid");
+    }
+    let mut next = spine;
+    for s in 0..spine {
+        for _ in 0..legs_per_node {
+            g.add_edge(s, next, r.gen_range(50..=100)).expect("valid");
+            next += 1;
+        }
+    }
+    g
+}
+
+/// Root-anchored SLT-tradeoff instance ("comb"): a unit-weight spine
+/// `0 - 1 - … - (n-1)` plus direct shortcuts `(0, v)` of weight
+/// `max(1, v/t)`. The MST is the light spine (root stretch ≈ `t`), the
+/// shortest-path tree is the heavy star (stretch 1, weight ≈ `n²/2t`),
+/// and shallow-light trees interpolate between them — the tension
+/// Theorem 1 resolves.
+pub fn comb(n: usize, t: Weight) -> Graph {
+    assert!(n >= 2 && t >= 1);
+    let mut g = path(n, 1);
+    for v in 2..n {
+        g.add_edge(0, v, (v as Weight / t).max(1)).expect("valid shortcut");
+    }
+    g
+}
+
+/// The named workload families used across the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// [`erdos_renyi`] with p = 8/n.
+    ErdosRenyi,
+    /// [`random_geometric`] with radius chosen for average degree ≈ 8.
+    Geometric,
+    /// [`tree_plus_chords`] with n/2 chords.
+    TreeChords,
+    /// [`grid`] (⌈√n⌉ × ⌈√n⌉).
+    Grid,
+}
+
+impl Family {
+    /// All families, for sweeps.
+    pub const ALL: [Family; 4] =
+        [Family::ErdosRenyi, Family::Geometric, Family::TreeChords, Family::Grid];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::ErdosRenyi => "erdos-renyi",
+            Family::Geometric => "geometric",
+            Family::TreeChords => "tree+chords",
+            Family::Grid => "grid",
+        }
+    }
+
+    /// Instantiates the family at size ≈ `n` with the given seed.
+    pub fn generate(self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::ErdosRenyi => erdos_renyi(n, (8.0 / n as f64).min(1.0), 100, seed),
+            Family::Geometric => {
+                // radius for expected degree ~8: pi r^2 n = 8
+                let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                random_geometric(n, r, seed)
+            }
+            Family::TreeChords => tree_plus_chords(n, n / 2, 100, seed),
+            Family::Grid => {
+                let side = (n as f64).sqrt().ceil() as usize;
+                grid(side, side, 100, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_is_connected_and_sized() {
+        for seed in 0..5 {
+            let g = erdos_renyi(50, 0.05, 100, seed);
+            assert_eq!(g.n(), 50);
+            assert!(g.is_connected());
+            assert!(g.m() >= 49);
+            assert!(g.min_weight() >= 1 && g.max_weight() <= 100);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = erdos_renyi(30, 0.2, 50, 42);
+        let b = erdos_renyi(30, 0.2, 50, 42);
+        assert_eq!(a.edges(), b.edges());
+        let c = random_geometric(30, 0.3, 42);
+        let d = random_geometric(30, 0.3, 42);
+        assert_eq!(c.edges(), d.edges());
+    }
+
+    #[test]
+    fn geometric_is_connected_even_with_tiny_radius() {
+        let g = random_geometric(40, 0.01, 9);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn geometric_weights_are_metric_ish() {
+        // triangle inequality holds for the underlying points, so direct
+        // edges are never longer than 2-hop detours by more than rounding.
+        let g = random_geometric(25, 0.5, 3);
+        let ap = crate::dijkstra::all_pairs(&g);
+        for e in g.edges() {
+            assert!(e.w <= ap[e.u][e.v] + 2, "edge heavier than shortest path");
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4, 10, 1);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        assert_eq!(path(5, 2).m(), 4);
+        assert_eq!(cycle(5, 2).m(), 5);
+        assert_eq!(star(5, 9, 0).m(), 4);
+        assert_eq!(complete(5, 9, 0).m(), 10);
+        assert!(cycle(2, 1).is_connected());
+    }
+
+    #[test]
+    fn tree_plus_chords_counts() {
+        let g = tree_plus_chords(40, 10, 100, 8);
+        assert!(g.is_connected());
+        assert_eq!(g.m(), 39 + 10);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(5, 2, 1);
+        assert_eq!(g.n(), 15);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn comb_has_cheap_shortcuts_and_light_spine() {
+        let g = comb(64, 8);
+        let m = crate::mst::kruskal(&g);
+        assert_eq!(m.weight, 63, "MST must be the unit spine");
+        // direct shortcut is the shortest route for far vertices
+        let d = crate::dijkstra::shortest_paths(&g, 0);
+        assert_eq!(d.dist[63], 63 / 8);
+        // the SPT is much heavier than the MST
+        let spt_w: u64 = (0..g.n())
+            .filter_map(|v| d.parent[v].map(|(_, e)| g.edge(e).w))
+            .sum();
+        assert!(spt_w > 3 * m.weight, "SPT weight {spt_w} vs MST {}", m.weight);
+    }
+
+    #[test]
+    fn families_generate_connected() {
+        for f in Family::ALL {
+            let g = f.generate(64, 5);
+            assert!(g.is_connected(), "family {} disconnected", f.name());
+            assert!(g.n() >= 64);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Weighted-graph substrate for the light-networks reproduction.
+//!
+//! This crate contains everything the distributed algorithms of
+//! *Distributed Construction of Light Networks* (Elkin, Filtser, Neiman;
+//! PODC 2020) need from a classical (sequential) graph library:
+//!
+//! * [`Graph`] — an undirected weighted graph with integer weights,
+//! * [`generators`] — seeded random instance generators (Erdős–Rényi,
+//!   random geometric, grids, trees with chords, …),
+//! * [`dijkstra`] — exact shortest paths used as the correctness oracle,
+//! * [`mst`] — Kruskal's minimum spanning tree (the sequential reference
+//!   the distributed MST of `dist-mst` is checked against),
+//! * [`tree`] — rooted-tree utilities including the *sequential* Euler
+//!   tour that Section 3 of the paper distributes,
+//! * [`metrics`] — stretch and lightness measurements for spanners and
+//!   shallow-light trees,
+//! * [`doubling`] — doubling-dimension estimation (Section 7).
+//!
+//! # Example
+//!
+//! ```
+//! use lightgraph::{generators, dijkstra, mst};
+//!
+//! let g = generators::erdos_renyi(64, 0.1, 100, 7);
+//! let dist = dijkstra::shortest_paths(&g, 0).dist;
+//! let tree = mst::kruskal(&g);
+//! assert!(tree.weight <= g.total_weight());
+//! assert!(dist.iter().all(|&d| d < lightgraph::INF));
+//! ```
+
+pub mod dijkstra;
+pub mod doubling;
+pub mod generators;
+pub mod metrics;
+pub mod mst;
+pub mod tree;
+pub mod union_find;
+
+mod graph;
+
+pub use graph::{Edge, EdgeId, Graph, GraphError, NodeId, Weight, INF};

@@ -1,0 +1,168 @@
+//! Quality metrics for spanners and shallow-light trees: stretch,
+//! lightness, and root-stretch, as defined in the paper's introduction.
+
+use crate::{dijkstra, mst, Graph, NodeId, INF};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Ratio of two weights as `f64` (`inf` if the denominator is 0).
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        f64::INFINITY
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Lightness of `h` with respect to `g`: `w(h) / w(MST(g))`.
+///
+/// # Panics
+/// Panics if `g` is disconnected (lightness is defined w.r.t. the MST).
+pub fn lightness(g: &Graph, h: &Graph) -> f64 {
+    let m = mst::kruskal(g);
+    assert!(m.is_spanning_tree, "lightness requires a connected base graph");
+    ratio(h.total_weight(), m.weight)
+}
+
+/// Certified maximum stretch of the subgraph `h` w.r.t. `g`, computed
+/// over *all edges* of `g`.
+///
+/// For any subgraph `H ⊆ G`, `max_{u,v} d_H(u,v)/d_G(u,v)` is attained on
+/// an edge of `G`, so this is the exact worst-case stretch. Runs one
+/// Dijkstra in `h` per distinct edge endpoint — use on test-sized graphs.
+pub fn max_stretch(g: &Graph, h: &Graph) -> f64 {
+    assert_eq!(g.n(), h.n());
+    let mut worst: f64 = 1.0;
+    let mut sources: Vec<NodeId> = g.edges().iter().map(|e| e.u).collect();
+    sources.sort_unstable();
+    sources.dedup();
+    for u in sources {
+        let sp = dijkstra::shortest_paths(h, u);
+        for &(v, w, _) in g.neighbors(u) {
+            if sp.dist[v] >= INF {
+                return f64::INFINITY;
+            }
+            worst = worst.max(ratio(sp.dist[v], w));
+        }
+    }
+    worst
+}
+
+/// Sampled maximum stretch over `samples` random vertex pairs — cheaper
+/// than [`max_stretch`], used by the large benchmark sweeps.
+pub fn sampled_stretch(g: &Graph, h: &Graph, samples: usize, seed: u64) -> f64 {
+    assert_eq!(g.n(), h.n());
+    if g.n() < 2 {
+        return 1.0;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: f64 = 1.0;
+    for _ in 0..samples {
+        let u = rng.gen_range(0..g.n());
+        let dg = dijkstra::shortest_paths(g, u);
+        let dh = dijkstra::shortest_paths(h, u);
+        let v = rng.gen_range(0..g.n());
+        if u == v || dg.dist[v] == 0 || dg.dist[v] >= INF {
+            continue;
+        }
+        if dh.dist[v] >= INF {
+            return f64::INFINITY;
+        }
+        worst = worst.max(ratio(dh.dist[v], dg.dist[v]));
+    }
+    worst
+}
+
+/// Maximum stretch of distances *from the root* in the subgraph `h`
+/// (used for SLTs): `max_v d_H(rt, v) / d_G(rt, v)`.
+pub fn root_stretch(g: &Graph, h: &Graph, root: NodeId) -> f64 {
+    assert_eq!(g.n(), h.n());
+    let dg = dijkstra::shortest_paths(g, root);
+    let dh = dijkstra::shortest_paths(h, root);
+    let mut worst: f64 = 1.0;
+    for v in 0..g.n() {
+        if v == root || dg.dist[v] >= INF {
+            continue;
+        }
+        if dh.dist[v] >= INF {
+            return f64::INFINITY;
+        }
+        worst = worst.max(ratio(dh.dist[v], dg.dist[v]));
+    }
+    worst
+}
+
+/// Summary of a spanner's quality, bundling the three Table-1 columns.
+#[derive(Debug, Clone, Copy)]
+pub struct SpannerQuality {
+    /// Certified (or sampled) maximum stretch.
+    pub stretch: f64,
+    /// Number of edges in the spanner.
+    pub edges: usize,
+    /// `w(H) / w(MST)`.
+    pub lightness: f64,
+}
+
+/// Computes exact quality metrics (use on test-sized graphs).
+pub fn spanner_quality(g: &Graph, h: &Graph) -> SpannerQuality {
+    SpannerQuality { stretch: max_stretch(g, h), edges: h.m(), lightness: lightness(g, h) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn identity_spanner_has_stretch_one() {
+        let g = generators::erdos_renyi(30, 0.2, 50, 1);
+        assert_eq!(max_stretch(&g, &g), 1.0);
+    }
+
+    #[test]
+    fn mst_stretch_is_finite_and_at_least_one() {
+        let g = generators::erdos_renyi(30, 0.2, 50, 2);
+        let m = mst::kruskal(&g);
+        let t = g.edge_subgraph(m.edges.iter().copied());
+        let s = max_stretch(&g, &t);
+        assert!((1.0..f64::INFINITY).contains(&s));
+        assert!((lightness(&g, &t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_subgraph_has_infinite_stretch() {
+        let g = generators::erdos_renyi(10, 0.5, 10, 3);
+        let h = Graph::new(10); // no edges
+        assert_eq!(max_stretch(&g, &h), f64::INFINITY);
+        assert_eq!(root_stretch(&g, &h, 0), f64::INFINITY);
+    }
+
+    #[test]
+    fn root_stretch_of_spt_is_one() {
+        let g = generators::erdos_renyi(30, 0.2, 50, 4);
+        let sp = dijkstra::shortest_paths(&g, 0);
+        let ids: Vec<_> = (0..g.n()).filter_map(|v| sp.parent[v].map(|(_, e)| e)).collect();
+        let t = g.edge_subgraph(ids);
+        assert!((root_stretch(&g, &t, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_stretch_lower_bounds_max_stretch() {
+        let g = generators::erdos_renyi(25, 0.3, 40, 5);
+        let m = mst::kruskal(&g);
+        let t = g.edge_subgraph(m.edges.iter().copied());
+        let full = max_stretch(&g, &t);
+        let sampled = sampled_stretch(&g, &t, 40, 7);
+        assert!(sampled <= full + 1e-9);
+        assert!(sampled >= 1.0);
+    }
+
+    #[test]
+    fn quality_bundle() {
+        let g = generators::erdos_renyi(20, 0.4, 30, 6);
+        let q = spanner_quality(&g, &g);
+        assert_eq!(q.edges, g.m());
+        assert_eq!(q.stretch, 1.0);
+        assert!(q.lightness >= 1.0);
+    }
+}

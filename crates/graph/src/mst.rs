@@ -1,0 +1,117 @@
+//! Kruskal's minimum spanning tree — the sequential reference.
+//!
+//! The distributed MST in the `dist-mst` crate must produce a spanning
+//! tree of exactly this weight (the tree itself may differ when weights
+//! are not unique; ties are broken by `(weight, edge id)` to make the
+//! *reference* deterministic).
+
+use crate::union_find::UnionFind;
+use crate::{EdgeId, Graph, Weight};
+
+/// A spanning forest produced by [`kruskal`].
+#[derive(Debug, Clone)]
+pub struct Mst {
+    /// Ids (into [`Graph::edges`]) of the chosen edges, sorted ascending.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the chosen edges.
+    pub weight: Weight,
+    /// Whether the forest spans a single component.
+    pub is_spanning_tree: bool,
+}
+
+/// Kruskal's algorithm with `(weight, edge id)` tie-breaking.
+///
+/// On a connected graph the result is a spanning tree with `n - 1` edges;
+/// on a disconnected graph it is a minimum spanning forest and
+/// [`Mst::is_spanning_tree`] is `false`.
+pub fn kruskal(g: &Graph) -> Mst {
+    let mut order: Vec<EdgeId> = (0..g.m()).collect();
+    order.sort_by_key(|&e| (g.edge(e).w, e));
+    let mut uf = UnionFind::new(g.n());
+    let mut edges = Vec::with_capacity(g.n().saturating_sub(1));
+    let mut weight: Weight = 0;
+    for e in order {
+        let edge = g.edge(e);
+        if uf.union(edge.u, edge.v) {
+            edges.push(e);
+            weight += edge.w;
+        }
+    }
+    edges.sort_unstable();
+    let is_spanning_tree = g.n() <= 1 || edges.len() == g.n() - 1;
+    Mst { edges, weight, is_spanning_tree }
+}
+
+/// Checks that `edge_ids` forms a spanning tree of `g` and returns its
+/// weight, or `None` if it is not a spanning tree.
+pub fn spanning_tree_weight(g: &Graph, edge_ids: &[EdgeId]) -> Option<Weight> {
+    if g.n() > 0 && edge_ids.len() != g.n() - 1 {
+        return None;
+    }
+    let mut uf = UnionFind::new(g.n());
+    let mut weight = 0;
+    for &e in edge_ids {
+        let edge = g.edge(e);
+        if !uf.union(edge.u, edge.v) {
+            return None; // cycle
+        }
+        weight += edge.w;
+    }
+    (uf.components() <= 1 || g.n() == 0).then_some(weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn mst_of_triangle_drops_heaviest() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 10)]).unwrap();
+        let mst = kruskal(&g);
+        assert_eq!(mst.weight, 3);
+        assert_eq!(mst.edges, vec![0, 1]);
+        assert!(mst.is_spanning_tree);
+    }
+
+    #[test]
+    fn mst_of_disconnected_graph_is_forest() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (2, 3, 1)]).unwrap();
+        let mst = kruskal(&g);
+        assert!(!mst.is_spanning_tree);
+        assert_eq!(mst.edges.len(), 2);
+    }
+
+    #[test]
+    fn spanning_tree_weight_validates() {
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 2), (0, 2, 10)]).unwrap();
+        assert_eq!(spanning_tree_weight(&g, &[0, 1]), Some(3));
+        assert_eq!(spanning_tree_weight(&g, &[0]), None); // too few
+        let g2 = Graph::from_edges(4, [(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]).unwrap();
+        assert_eq!(spanning_tree_weight(&g2, &[0, 1, 2]), None); // cycle
+    }
+
+    #[test]
+    fn mst_weight_is_minimal_by_brute_force() {
+        let g = generators::erdos_renyi(8, 0.5, 20, 3);
+        let mst = kruskal(&g);
+        // brute force over all spanning trees is too big; instead check the
+        // cut property: for each non-tree edge, it is the heaviest on the
+        // cycle it closes (up to ties).
+        let tree = g.edge_subgraph(mst.edges.iter().copied());
+        for (id, e) in g.edges().iter().enumerate() {
+            if mst.edges.contains(&id) {
+                continue;
+            }
+            // path in tree between endpoints
+            let sp = crate::dijkstra::shortest_paths(&tree, e.u);
+            let mut cur = e.v;
+            let mut max_on_path = 0;
+            while let Some((p, pe)) = sp.parent[cur] {
+                max_on_path = max_on_path.max(tree.edge(pe).w);
+                cur = p;
+            }
+            assert!(e.w >= max_on_path, "cycle property violated");
+        }
+    }
+}

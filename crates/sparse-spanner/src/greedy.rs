@@ -1,0 +1,97 @@
+//! The greedy (2k−1)-spanner of Althöfer et al. [ADD+93] — the
+//! sequential quality baseline.
+//!
+//! Filtser–Solomon [FS16] showed the greedy spanner is *existentially
+//! optimal*: its size `O(n^{1+1/k})` and lightness `O(n^{1/k})` (for
+//! stretch `(2k−1)·(1+ε)`) match the best possible. The experiments use
+//! it as the quality yardstick the distributed algorithm is compared
+//! against (the paper's §1: "the greedy algorithm has inherently large
+//! running time" — it is sequential and needs `m` shortest-path
+//! queries, which is exactly why the distributed construction exists).
+
+use lightgraph::{dijkstra, EdgeId, Graph, Weight};
+
+/// Builds the greedy `t`-spanner: edges in `(weight, id)` order; an edge
+/// `(u,v)` enters iff the current spanner distance exceeds `t · w`.
+///
+/// `t` is given as a rational `t_num / t_den` to keep the comparison
+/// exact in integers.
+pub fn greedy_spanner(g: &Graph, t_num: u64, t_den: u64) -> Vec<EdgeId> {
+    assert!(t_den > 0 && t_num >= t_den, "stretch must be at least 1");
+    let mut order: Vec<EdgeId> = (0..g.m()).collect();
+    order.sort_by_key(|&e| (g.edge(e).w, e));
+    let mut h = Graph::new(g.n());
+    let mut chosen = Vec::new();
+    for e in order {
+        let edge = g.edge(e);
+        // bounded search: we only care whether d_H(u,v) <= t*w
+        let limit: Weight = edge.w.saturating_mul(t_num) / t_den;
+        let sp = dijkstra::bounded_shortest_paths(&h, edge.u, limit);
+        if sp.dist[edge.v] > limit {
+            h.add_edge(edge.u, edge.v, edge.w).expect("edge from valid graph");
+            chosen.push(e);
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Convenience wrapper for the classical integer stretch `2k − 1`.
+pub fn greedy_2k_minus_1(g: &Graph, k: usize) -> Vec<EdgeId> {
+    greedy_spanner(g, (2 * k - 1) as u64, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightgraph::{generators, metrics};
+
+    #[test]
+    fn stretch_bound_is_respected() {
+        for seed in 0..3 {
+            let g = generators::erdos_renyi(40, 0.3, 30, seed);
+            for k in 1..=3 {
+                let edges = greedy_2k_minus_1(&g, k);
+                let h = g.edge_subgraph(edges);
+                let s = metrics::max_stretch(&g, &h);
+                assert!(s <= (2 * k - 1) as f64 + 1e-9, "k={k} stretch {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn k1_keeps_all_edges_of_metric_graphs() {
+        // with stretch 1, an edge is skipped only if an equally light
+        // path already exists
+        let g = generators::path(10, 5);
+        let edges = greedy_2k_minus_1(&g, 1);
+        assert_eq!(edges.len(), g.m());
+    }
+
+    #[test]
+    fn greedy_contains_the_mst() {
+        let g = generators::erdos_renyi(35, 0.25, 25, 7);
+        let mst = lightgraph::mst::kruskal(&g);
+        let edges = greedy_2k_minus_1(&g, 3);
+        for e in mst.edges {
+            assert!(edges.contains(&e), "greedy spanner must contain MST edge {e}");
+        }
+    }
+
+    #[test]
+    fn fractional_stretch() {
+        let g = generators::complete(25, 40, 2);
+        // stretch 1.5
+        let edges = greedy_spanner(&g, 3, 2);
+        let h = g.edge_subgraph(edges);
+        let s = metrics::max_stretch(&g, &h);
+        assert!(s <= 1.5 + 1e-9);
+    }
+
+    #[test]
+    fn sparsifies_complete_graphs() {
+        let g = generators::complete(40, 60, 5);
+        let edges = greedy_2k_minus_1(&g, 3);
+        assert!(edges.len() < g.m() / 2);
+    }
+}

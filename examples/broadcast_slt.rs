@@ -1,0 +1,61 @@
+//! Efficient broadcast with shallow-light trees — the motivating
+//! application of [ABP92] and §1.2.
+//!
+//! Broadcasting from a source over the MST minimizes total *link cost*
+//! but can take detours (high latency to each vertex); over the SPT it
+//! minimizes latency but can be heavy. The SLT interpolates: lightness
+//! `1 + O(1/ε)` at root stretch `1 + O(ε)`. This example sweeps ε and
+//! prints the (cost, latency) frontier against both extremes and the
+//! sequential KRY95 optimum.
+//!
+//! ```text
+//! cargo run --example broadcast_slt
+//! ```
+
+use congest::tree::build_bfs_tree;
+use congest::Simulator;
+use lightgraph::{dijkstra, generators, metrics};
+use lightnet::{kry_slt, shallow_light_tree};
+
+fn main() {
+    // the comb: a cheap spine plus direct root shortcuts, where the MST
+    // broadcast is slow (latency ~8x) and the SPT broadcast is heavy
+    let g = generators::comb(160, 8);
+    let rt = 0;
+    println!("broadcast network: n = {}, m = {}", g.n(), g.m());
+
+    let mst = lightgraph::mst::kruskal(&g);
+    let mst_tree = g.edge_subgraph(mst.edges.iter().copied());
+    let spt = dijkstra::shortest_paths(&g, rt);
+    let spt_tree = g.edge_subgraph((0..g.n()).filter_map(|v| spt.parent[v].map(|(_, e)| e)));
+
+    let report = |name: &str, tree: &lightgraph::Graph, rounds: Option<u64>| {
+        let cost = metrics::lightness(&g, tree);
+        let latency = metrics::root_stretch(&g, tree, rt);
+        match rounds {
+            Some(r) => println!(
+                "{name:<22} cost {cost:>6.2}x MST   worst latency {latency:>6.2}x   ({r} rounds)"
+            ),
+            None => println!(
+                "{name:<22} cost {cost:>6.2}x MST   worst latency {latency:>6.2}x"
+            ),
+        }
+    };
+
+    report("MST broadcast", &mst_tree, None);
+    report("SPT broadcast", &spt_tree, None);
+    println!("--- distributed SLT sweep ---");
+    for &eps in &[0.25, 0.5, 1.0] {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, rt);
+        let slt = shallow_light_tree(&mut sim, &tau, rt, eps, 11);
+        let tree = g.edge_subgraph_dedup(slt.edges.iter().copied());
+        report(&format!("SLT eps={eps}"), &tree, Some(slt.stats.rounds));
+    }
+    println!("--- sequential KRY95 optimum (baseline) ---");
+    for &eps in &[0.25, 0.5, 1.0] {
+        let edges = kry_slt(&g, rt, eps);
+        let tree = g.edge_subgraph_dedup(edges.iter().copied());
+        report(&format!("KRY eps={eps}"), &tree, None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Hierarchical nets and the §8 reduction: estimating the MST weight
+//! from net cardinalities alone.
+//!
+//! Builds `(α·2^i, 2^i)`-nets for every scale, prints the hierarchy,
+//! and verifies the Theorem-7 sandwich `L ≤ Ψ ≤ O(α log n)·L` — the
+//! reduction behind the `Ω̃(√n + D)` net lower bound.
+//!
+//! ```text
+//! cargo run --example nets_demo
+//! ```
+
+use congest::tree::build_bfs_tree;
+use congest::Simulator;
+use lightgraph::{generators, mst};
+use lightnet::estimate_mst_weight;
+
+fn main() {
+    let g = generators::grid(12, 12, 9, 21);
+    let l = mst::kruskal(&g).weight;
+    println!("grid graph: n = {}, m = {}, MST weight L = {l}", g.n(), g.m());
+
+    let mut sim = Simulator::new(&g);
+    let (tau, _) = build_bfs_tree(&mut sim, 0);
+    let est = estimate_mst_weight(&mut sim, &tau, 5);
+
+    println!("\nscale 2^i | net size n_i | contribution n_i*α*2^(i+1)");
+    for &(scale, ni) in &est.scales {
+        let contribution = (ni as f64 * est.alpha * (2 * scale) as f64).ceil();
+        println!("{scale:>9} | {ni:>12} | {contribution:>10}");
+    }
+    println!(
+        "\nΨ = {}   (sandwich: L = {l} ≤ Ψ ≤ O(α·log n)·L = {:.0})",
+        est.psi,
+        est.alpha * 16.0 * (g.n() as f64).log2() * l as f64
+    );
+    println!("total: {} rounds, {} messages", est.stats.rounds, est.stats.messages);
+    assert!(est.psi >= l, "lower side of the sandwich violated");
+}

@@ -1,0 +1,12 @@
+//! Workspace facade for the light-networks reproduction.
+//!
+//! Re-exports the public API of every crate so that the integration tests
+//! and examples at the repository root can use a single dependency. See
+//! `lightnet` (in `crates/core`) for the paper's primary contributions.
+
+pub use congest;
+pub use dist_mst;
+pub use dist_sssp;
+pub use lightgraph;
+pub use lightnet;
+pub use sparse_spanner;
