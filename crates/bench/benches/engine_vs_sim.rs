@@ -1,0 +1,62 @@
+//! Round-loop throughput: parallel engine vs sequential simulator.
+//!
+//! Times BFS-tree construction (latency-bound: few rounds, heavy
+//! per-round fan-out) and pipelined broadcast (bandwidth-bound: many
+//! rounds of cap-limited traffic) on sparse Erdős–Rényi graphs of
+//! 10k–100k nodes. Round/message counts are identical across engines
+//! by construction; only wall-clock differs.
+//!
+//! ```text
+//! cargo bench -p lightnet-bench --bench engine_vs_sim
+//! ```
+
+use congest::collective::{broadcast, Item};
+use congest::tree::build_bfs_tree;
+use congest::Simulator;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::Engine;
+use lightgraph::generators;
+
+fn bench_bfs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_sim/bfs");
+    group.sample_size(10);
+    for &n in &[10_000usize, 30_000, 100_000] {
+        let g = generators::gnp_sparse(n, (8.0 / n as f64).min(1.0), 100, 1);
+        group.bench_with_input(BenchmarkId::new("sim", n), &g, |b, g| {
+            b.iter(|| {
+                let mut sim = Simulator::new(g);
+                build_bfs_tree(&mut sim, 0)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("engine", n), &g, |b, g| {
+            b.iter(|| {
+                let mut eng = Engine::new(g);
+                build_bfs_tree(&mut eng, 0)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_vs_sim/broadcast");
+    group.sample_size(10);
+    for &n in &[10_000usize, 30_000] {
+        let g = generators::gnp_sparse(n, (8.0 / n as f64).min(1.0), 100, 2);
+        let items: Vec<Item> = (0..256).map(|i| (i, [i * 2, i * 3])).collect();
+        group.bench_with_input(BenchmarkId::new("sim", n), &g, |b, g| {
+            let mut sim = Simulator::new(g);
+            let (tau, _) = build_bfs_tree(&mut sim, 0);
+            b.iter(|| broadcast(&mut sim, &tau, items.clone()))
+        });
+        group.bench_with_input(BenchmarkId::new("engine", n), &g, |b, g| {
+            let mut eng = Engine::new(g);
+            let (tau, _) = build_bfs_tree(&mut eng, 0);
+            b.iter(|| broadcast(&mut eng, &tau, items.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs, bench_broadcast);
+criterion_main!(benches);

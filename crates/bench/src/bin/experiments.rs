@@ -25,10 +25,17 @@ fn main() {
                 &run_e1(sizes, &[2, 3], seed)
             )
         );
-        let rsizes: &[usize] = if quick { &[64, 128, 256] } else { &[64, 128, 256, 512] };
+        let rsizes: &[usize] = if quick {
+            &[64, 128, 256]
+        } else {
+            &[64, 128, 256, 512]
+        };
         println!(
             "{}",
-            render("E1b — spanner round scaling (k = 2)", &run_e1_rounds(rsizes, 2, seed))
+            render(
+                "E1b — spanner round scaling (k = 2)",
+                &run_e1_rounds(rsizes, 2, seed)
+            )
         );
     }
     if want("e2") {
@@ -46,13 +53,22 @@ fn main() {
                 &run_e2_inverse(160, &[0.25, 0.5, 0.75], seed)
             )
         );
-        println!("{}", render("E2c — two-phase selection ablation", &run_slt_ablation(seed)));
+        println!(
+            "{}",
+            render(
+                "E2c — two-phase selection ablation",
+                &run_slt_ablation(seed)
+            )
+        );
     }
     if want("e3") {
         let sizes: &[usize] = if quick { &[64, 128] } else { &[64, 128, 256] };
         println!(
             "{}",
-            render("E3 — nets (Theorem 3)", &run_e3(sizes, &[0.25, 0.5, 1.0], seed))
+            render(
+                "E3 — nets (Theorem 3)",
+                &run_e3(sizes, &[0.25, 0.5, 1.0], seed)
+            )
         );
     }
     if want("e4") {
@@ -66,11 +82,31 @@ fn main() {
         );
     }
     if want("e5") {
-        let sizes: &[usize] =
-            if quick { &[64, 256, 1024] } else { &[64, 128, 256, 512, 1024] };
+        let sizes: &[usize] = if quick {
+            &[64, 256, 1024]
+        } else {
+            &[64, 128, 256, 512, 1024]
+        };
         println!(
             "{}",
-            render("E5 — Euler tour of the MST (Lemma 2) round scaling", &run_e5(sizes, seed))
+            render(
+                "E5 — Euler tour of the MST (Lemma 2) round scaling",
+                &run_e5(sizes, seed)
+            )
+        );
+    }
+    if want("throughput") {
+        let sizes: &[usize] = if quick {
+            &[1000, 4000]
+        } else {
+            &[1000, 4000, 16000]
+        };
+        println!(
+            "{}",
+            render(
+                "Throughput — sequential simulator vs parallel engine (BFS + MST)",
+                &run_throughput(sizes, seed)
+            )
         );
     }
     if want("e6") {

@@ -7,11 +7,12 @@
 //! drive them. `EXPERIMENTS.md` records paper-vs-measured.
 
 use congest::tree::build_bfs_tree;
-use congest::Simulator;
+use congest::{Executor, Simulator};
+use engine::Engine;
 use lightgraph::{generators, metrics, mst, Graph, NodeId};
 use lightnet::{
-    doubling_spanner, estimate_mst_weight, kry_slt, light_slt, light_spanner, net,
-    net_quality, shallow_light_tree,
+    doubling_spanner, estimate_mst_weight, kry_slt, light_slt, light_spanner, net, net_quality,
+    shallow_light_tree,
 };
 use sparse_spanner::{baswana_sen::baswana_sen, greedy::greedy_2k_minus_1};
 
@@ -59,13 +60,110 @@ fn sim_with_tau(g: &Graph, rt: NodeId) -> (Simulator<'_>, congest::tree::BfsTree
     (sim, tau)
 }
 
+// ---------------------------------------------------------------------
+// Backend dispatch: run any experiment on either execution engine.
+// ---------------------------------------------------------------------
+
+/// Which execution engine drives a run. Rounds and messages are
+/// engine-independent (the parallel engine is bit-identical to the
+/// simulator); only wall-clock differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The sequential reference simulator (`congest::Simulator`).
+    Sim,
+    /// The parallel deterministic engine (`engine::Engine`).
+    Engine,
+}
+
+impl Backend {
+    /// Both backends, for sweeps.
+    pub const ALL: [Backend; 2] = [Backend::Sim, Backend::Engine];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => "sim",
+            Backend::Engine => "engine",
+        }
+    }
+}
+
+/// A computation generic over the executor, dispatched by [`run_on`].
+///
+/// (A trait rather than a closure because `Executor::run` is generic,
+/// so executors cannot be trait objects.)
+pub trait BackendJob {
+    /// Result type.
+    type Out;
+    /// Runs the job on a concrete executor.
+    fn run<E: Executor>(self, exec: &mut E) -> Self::Out;
+}
+
+/// Runs `job` over `g` on the chosen backend.
+pub fn run_on<J: BackendJob>(g: &Graph, backend: Backend, job: J) -> J::Out {
+    match backend {
+        Backend::Sim => job.run(&mut Simulator::new(g)),
+        Backend::Engine => job.run(&mut Engine::new(g)),
+    }
+}
+
+/// Throughput comparison of the two backends: wall-clock for a BFS
+/// tree plus a distributed MST on sparse Erdős–Rényi graphs, with the
+/// (identical) round counts as a cross-check. Drives the
+/// `experiments -- throughput` mode; the Criterion bench
+/// `engine_vs_sim` covers the same axis with proper sampling.
+pub fn run_throughput(sizes: &[usize], seed: u64) -> Vec<Row> {
+    struct BfsMst {
+        seed: u64,
+    }
+    impl BackendJob for BfsMst {
+        type Out = congest::RunStats;
+        fn run<E: Executor>(self, exec: &mut E) -> congest::RunStats {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let _ = dist_mst::boruvka::distributed_mst(exec, &tau, 0, self.seed);
+            exec.total()
+        }
+    }
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = generators::gnp_sparse(n, (8.0 / n as f64).min(1.0), 100, seed);
+        let mut cols: Vec<(&'static str, f64)> = Vec::new();
+        let mut stats = Vec::new();
+        for backend in Backend::ALL {
+            let start = std::time::Instant::now();
+            let s = run_on(&g, backend, BfsMst { seed });
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            cols.push((
+                match backend {
+                    Backend::Sim => "sim-ms",
+                    Backend::Engine => "engine-ms",
+                },
+                ms,
+            ));
+            stats.push(s);
+        }
+        assert_eq!(stats[0], stats[1], "backends diverged on n={n}");
+        cols.push(("rounds", stats[0].rounds as f64));
+        cols.push(("messages", stats[0].messages as f64));
+        rows.push(Row {
+            label: format!("erdos-renyi n={n}"),
+            cols,
+        });
+    }
+    rows
+}
+
 /// E1 (Table 1 row 1, Theorem 2): light spanners for general graphs,
 /// vs the greedy (quality-optimal) and Baswana–Sen (no lightness)
 /// baselines.
 pub fn run_e1(sizes: &[usize], ks: &[usize], seed: u64) -> Vec<Row> {
     let eps = 0.25;
     let mut rows = Vec::new();
-    for family in [generators::Family::ErdosRenyi, generators::Family::TreeChords] {
+    for family in [
+        generators::Family::ErdosRenyi,
+        generators::Family::TreeChords,
+    ] {
         for &n in sizes {
             let g = family.generate(n, seed);
             for &k in ks {
@@ -79,8 +177,7 @@ pub fn run_e1(sizes: &[usize], ks: &[usize], seed: u64) -> Vec<Row> {
 
                 let mut bs_sim = Simulator::new(&g);
                 let bs = baswana_sen(&mut bs_sim, k, seed);
-                let bsl =
-                    metrics::lightness(&g, &g.edge_subgraph_dedup(bs.edges.iter().copied()));
+                let bsl = metrics::lightness(&g, &g.edge_subgraph_dedup(bs.edges.iter().copied()));
 
                 rows.push(Row {
                     label: format!("{} n={} k={}", family.name(), g.n(), k),
@@ -134,7 +231,7 @@ pub fn run_e2(n: usize, eps_sweep: &[f64], seed: u64) -> Vec<Row> {
         let (mut sim, tau) = sim_with_tau(&g, rt);
         let slt = shallow_light_tree(&mut sim, &tau, rt, eps, seed);
         let tree = g.edge_subgraph_dedup(slt.edges.iter().copied());
-        let kry = g.edge_subgraph_dedup(kry_slt(&g, rt, eps).into_iter());
+        let kry = g.edge_subgraph_dedup(kry_slt(&g, rt, eps));
         rows.push(Row {
             label: format!("comb n={} eps={}", g.n(), eps),
             cols: vec![
@@ -156,7 +253,7 @@ pub fn run_e2_inverse(n: usize, gammas: &[f64], seed: u64) -> Vec<Row> {
     let mut rows = Vec::new();
     for &gamma in gammas {
         let (edges, stats) = light_slt(&g, 0, gamma, seed);
-        let tree = g.edge_subgraph_dedup(edges.into_iter());
+        let tree = g.edge_subgraph_dedup(edges);
         rows.push(Row {
             label: format!("comb n={} gamma={}", g.n(), gamma),
             cols: vec![
@@ -187,7 +284,14 @@ pub fn run_e3(sizes: &[usize], deltas: &[f64], seed: u64) -> Vec<Row> {
                     ("points", r.points.len() as f64),
                     ("cover", cover as f64),
                     ("cover-bound", (scale.max(1) as f64) * (1.0 + delta)),
-                    ("sep", if r.points.len() > 1 { sep as f64 } else { f64::NAN }),
+                    (
+                        "sep",
+                        if r.points.len() > 1 {
+                            sep as f64
+                        } else {
+                            f64::NAN
+                        },
+                    ),
                     ("sep-bound", (scale.max(1) as f64) / (1.0 + delta)),
                     ("iters", r.iterations as f64),
                     ("rounds", r.stats.rounds as f64),
@@ -242,7 +346,10 @@ pub fn run_e5(sizes: &[usize], seed: u64) -> Vec<Row> {
                 ("mst-rounds", m.stats.rounds as f64),
                 ("tour-rounds", tour.stats.rounds as f64),
                 ("sqrt-n", (g.n() as f64).sqrt()),
-                ("tour/sqrt-n", tour.stats.rounds as f64 / (g.n() as f64).sqrt()),
+                (
+                    "tour/sqrt-n",
+                    tour.stats.rounds as f64 / (g.n() as f64).sqrt(),
+                ),
                 ("fragments", m.fragment_count() as f64),
             ],
         });
@@ -283,7 +390,7 @@ pub fn run_slt_ablation(seed: u64) -> Vec<Row> {
         let (mut sim, tau) = sim_with_tau(&g, 0);
         let two_phase = shallow_light_tree(&mut sim, &tau, 0, eps, seed);
         let tree = g.edge_subgraph_dedup(two_phase.edges.iter().copied());
-        let kry = g.edge_subgraph_dedup(kry_slt(&g, 0, eps).into_iter());
+        let kry = g.edge_subgraph_dedup(kry_slt(&g, 0, eps));
         let (l2, l1) = (metrics::lightness(&g, &tree), metrics::lightness(&g, &kry));
         rows.push(Row {
             label: format!("eps={eps}"),

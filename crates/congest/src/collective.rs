@@ -17,8 +17,9 @@
 //! Together, `gather` + `broadcast` implement the paper's recurring
 //! "convergecast to rt, compute locally, broadcast the answer" pattern.
 
+use crate::exec::Executor;
 use crate::message::{Message, Word};
-use crate::sim::{Ctx, Program, RunStats, Simulator};
+use crate::program::{Ctx, Program, RunStats};
 use crate::tree::BfsTree;
 use lightgraph::NodeId;
 use std::collections::BTreeMap;
@@ -76,8 +77,8 @@ impl Program for BroadcastProgram {
 ///
 /// Every vertex receives all items in the root's order. Takes
 /// `|items| + height` rounds at cap 1 (`O(M + D)`, Lemma 1).
-pub fn broadcast(
-    sim: &mut Simulator<'_>,
+pub fn broadcast<E: Executor>(
+    sim: &mut E,
     tree: &BfsTree,
     items: Vec<Item>,
 ) -> (Vec<Vec<Item>>, RunStats) {
@@ -121,8 +122,7 @@ impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> ConvergeProgram<C> {
         let watermark = self.frontier.values().copied().min().unwrap_or(Word::MAX);
         if let Some(parent) = self.parent {
             // Emit every settled key (< watermark) upward, in order.
-            let ready: Vec<Word> =
-                self.merged.range(..watermark).map(|(&k, _)| k).collect();
+            let ready: Vec<Word> = self.merged.range(..watermark).map(|(&k, _)| k).collect();
             for k in ready {
                 let [a, b] = self.merged.remove(&k).expect("key present");
                 ctx.send(parent, Message::words(&[TAG_ITEM, k, a, b]));
@@ -171,14 +171,15 @@ impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> Program for ConvergeProgram
 ///
 /// Items are streamed in increasing key order with per-child watermarks,
 /// so `K` distinct keys cost `O(K + height)` rounds at cap 1.
-pub fn converge<C>(
-    sim: &mut Simulator<'_>,
+pub fn converge<E, C>(
+    sim: &mut E,
     tree: &BfsTree,
     items: impl Fn(NodeId) -> Vec<Item>,
     combine: C,
 ) -> (BTreeMap<Word, [Word; 2]>, RunStats)
 where
-    C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2] + Clone,
+    E: Executor,
+    C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2] + Clone + Send,
 {
     let root = tree.root;
     let (mut out, stats) = sim.run(|v, _| {
@@ -199,8 +200,8 @@ where
 
 /// Convergecast of distinct items (duplicate keys keep the smaller
 /// value, which callers with genuinely unique keys never observe).
-pub fn gather(
-    sim: &mut Simulator<'_>,
+pub fn gather<E: Executor>(
+    sim: &mut E,
     tree: &BfsTree,
     items: impl Fn(NodeId) -> Vec<Item>,
 ) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
@@ -210,8 +211,8 @@ pub fn gather(
 /// Convergecast of keyed minima over the first value word; the second
 /// word rides along with its minimum (e.g. `val = [weight, edge-id]`
 /// keeps the lightest edge per key).
-pub fn converge_min(
-    sim: &mut Simulator<'_>,
+pub fn converge_min<E: Executor>(
+    sim: &mut E,
     tree: &BfsTree,
     items: impl Fn(NodeId) -> Vec<Item>,
 ) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
@@ -219,8 +220,8 @@ pub fn converge_min(
 }
 
 /// Convergecast of keyed maxima over the first value word.
-pub fn converge_max(
-    sim: &mut Simulator<'_>,
+pub fn converge_max<E: Executor>(
+    sim: &mut E,
     tree: &BfsTree,
     items: impl Fn(NodeId) -> Vec<Item>,
 ) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
@@ -229,8 +230,8 @@ pub fn converge_max(
 
 /// Convergecast of keyed sums over the first value word (second word
 /// summed too).
-pub fn converge_sum(
-    sim: &mut Simulator<'_>,
+pub fn converge_sum<E: Executor>(
+    sim: &mut E,
     tree: &BfsTree,
     items: impl Fn(NodeId) -> Vec<Item>,
 ) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
@@ -241,6 +242,7 @@ pub fn converge_sum(
 mod tests {
     use super::*;
     use crate::tree::build_bfs_tree;
+    use crate::Simulator;
     use lightgraph::generators;
 
     #[test]
@@ -278,9 +280,7 @@ mod tests {
         let mut sim = Simulator::new(&g);
         let (tree, _) = build_bfs_tree(&mut sim, 3);
         // key = v % 4, value = v
-        let (got, _) = converge_max(&mut sim, &tree, |v| {
-            vec![((v % 4) as u64, [v as u64, 0])]
-        });
+        let (got, _) = converge_max(&mut sim, &tree, |v| vec![((v % 4) as u64, [v as u64, 0])]);
         for k in 0..4u64 {
             let expect = (0..40u64).filter(|v| v % 4 == k).max().unwrap();
             assert_eq!(got[&k][0], expect, "key {k}");
@@ -301,9 +301,7 @@ mod tests {
         let g = generators::path(6, 1);
         let mut sim = Simulator::new(&g);
         let (tree, _) = build_bfs_tree(&mut sim, 0);
-        let (got, _) = converge_min(&mut sim, &tree, |v| {
-            vec![(0, [(10 - v) as u64, v as u64])]
-        });
+        let (got, _) = converge_min(&mut sim, &tree, |v| vec![(0, [(10 - v) as u64, v as u64])]);
         assert_eq!(got[&0], [5, 5]); // v=5 has min first word, payload rides along
     }
 
@@ -319,7 +317,11 @@ mod tests {
         }
         // Path of length 15, 16 items: pipelining should finish well under
         // the naive 16*15 bound.
-        assert!(stats.rounds <= 16 + 15 + 5, "gather not pipelined: {}", stats.rounds);
+        assert!(
+            stats.rounds <= 16 + 15 + 5,
+            "gather not pipelined: {}",
+            stats.rounds
+        );
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! The [`Executor`] abstraction: anything that can run a CONGEST
+//! program to quiescence.
+//!
+//! Two engines implement it today — the sequential
+//! [`Simulator`](crate::Simulator) in this crate, and the parallel
+//! sharded engine in `crates/engine`. The trait pins down the exact
+//! observable contract an engine must honor so that algorithms (and the
+//! paper's round-count experiments) behave identically on both:
+//!
+//! **Determinism contract.**
+//! 1. `make` is invoked once per node, in increasing node order, on the
+//!    calling thread.
+//! 2. [`Program::init`] effects are observed as if nodes ran in
+//!    increasing node order.
+//! 3. Per directed edge, messages form a FIFO: they are delivered in
+//!    the order they were staged, at most [`Executor::cap`] per round.
+//! 4. A round's inbox at node `v` is ordered by edge id (and, per edge,
+//!    direction `u→v` before `v→u`), exactly matching the sequential
+//!    simulator's delivery loop.
+//! 5. Execution stops at the first round boundary where all queues are
+//!    empty and every program is quiescent; [`RunStats`] count the
+//!    delivered messages and executed rounds.
+//!
+//! Any engine honoring 1–5 produces bit-identical per-node outputs and
+//! `RunStats` for deterministic programs, which is what lets the
+//! parallel engine stand in for the simulator in experiments that
+//! report the paper's round counts.
+
+use crate::program::{Program, RunStats};
+use lightgraph::{Graph, NodeId};
+
+/// An engine that runs one [`Program`] instance per node until global
+/// quiescence, with cumulative round accounting across runs.
+pub trait Executor {
+    /// The same engine kind instantiated over another (sub)graph,
+    /// inheriting configuration such as the bandwidth cap. Lets
+    /// composite algorithms recurse into subgraphs without committing
+    /// to a concrete engine.
+    type Sub<'h>: Executor;
+
+    /// Creates a fresh executor of the same kind over `graph`,
+    /// inheriting this executor's configuration (cap, round guard) but
+    /// with zeroed statistics.
+    fn sub<'h>(&self, graph: &'h Graph) -> Self::Sub<'h>;
+
+    /// The underlying graph.
+    fn graph(&self) -> &Graph;
+
+    /// Messages allowed per directed edge per round.
+    fn cap(&self) -> usize;
+
+    /// Sets the bandwidth cap (`>= 1`).
+    ///
+    /// # Panics
+    /// Panics if `cap == 0`.
+    fn set_cap(&mut self, cap: usize);
+
+    /// Sets the livelock guard.
+    fn set_max_rounds(&mut self, max_rounds: u64);
+
+    /// Cumulative statistics over every run so far.
+    fn total(&self) -> RunStats;
+
+    /// Resets the cumulative statistics.
+    fn reset_total(&mut self);
+
+    /// Adds externally-accounted rounds to the cumulative counter.
+    fn charge(&mut self, stats: RunStats);
+
+    /// Runs one program instance per node until global quiescence; see
+    /// the module docs for the determinism contract.
+    ///
+    /// `P: Send` (and `Output: Send`) because a conforming engine may
+    /// execute node shards on worker threads; `make` itself always runs
+    /// on the calling thread, in node order.
+    ///
+    /// # Panics
+    /// Panics if the run exceeds the `max_rounds` livelock guard.
+    fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)
+    where
+        P: Program + Send,
+        P::Output: Send,
+        F: FnMut(NodeId, &Graph) -> P;
+}

@@ -13,9 +13,14 @@
 //! `⌈K/cap⌉` rounds — exactly the pipelining arguments the paper uses
 //! (e.g. Lemma 1).
 //!
-//! * [`Simulator`] — owns the per-run round loop and cumulative round
-//!   accounting across the phases of a composite algorithm,
-//! * [`Program`] — the per-node state machine interface,
+//! * [`Program`] / [`Ctx`] — the engine-agnostic per-node state machine
+//!   interface ([`program`]),
+//! * [`Executor`] — the contract any execution engine must honor
+//!   ([`exec`]); implemented here by the sequential [`Simulator`] and in
+//!   `crates/engine` by the parallel sharded engine,
+//! * [`Simulator`] — the sequential reference engine: per-run round loop
+//!   and cumulative round accounting across the phases of a composite
+//!   algorithm,
 //! * [`tree`] — distributed BFS-tree construction (the tree τ of §2),
 //! * [`collective`] — Lemma-1 collectives: pipelined broadcast to all
 //!   vertices in `O(M + D)` rounds and combining convergecast
@@ -53,10 +58,14 @@
 //! ```
 
 pub mod collective;
+pub mod exec;
+pub mod program;
 pub mod tree;
 
 mod message;
 mod sim;
 
+pub use exec::Executor;
 pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
-pub use sim::{Ctx, Program, RunStats, Simulator};
+pub use program::{Ctx, Program, RunStats};
+pub use sim::Simulator;

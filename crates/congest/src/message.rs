@@ -29,7 +29,9 @@ impl Message {
             "CONGEST message must have 1..={WORDS_PER_MESSAGE} words, got {}",
             words.len()
         );
-        Message { words: words.to_vec() }
+        Message {
+            words: words.to_vec(),
+        }
     }
 
     /// The payload words.
@@ -62,7 +64,10 @@ impl Message {
 /// # Panics
 /// Panics if either value does not fit in 32 bits.
 pub fn pack2(hi: u64, lo: u64) -> Word {
-    assert!(hi < (1 << 32) && lo < (1 << 32), "pack2 operands must fit in 32 bits");
+    assert!(
+        hi < (1 << 32) && lo < (1 << 32),
+        "pack2 operands must fit in 32 bits"
+    );
     (hi << 32) | lo
 }
 

@@ -1,0 +1,146 @@
+//! The engine-agnostic per-node interface.
+//!
+//! A CONGEST algorithm is written once against [`Program`] and [`Ctx`]
+//! and can then be executed by any conforming engine: the sequential
+//! [`Simulator`](crate::Simulator) in this crate, or the parallel
+//! engine in `crates/engine`. Both must obey the same contract — see
+//! [`Executor`](crate::Executor) — and produce bit-identical outputs
+//! and statistics.
+
+use crate::message::Message;
+use lightgraph::{EdgeId, NodeId, Weight};
+
+/// Round and message counts for one run (or accumulated over several —
+/// see [`Executor::total`](crate::Executor::total)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of communication rounds executed.
+    pub rounds: u64,
+    /// Number of messages delivered.
+    pub messages: u64,
+}
+
+impl RunStats {
+    /// Adds another run's counts into this one.
+    pub fn absorb(&mut self, other: RunStats) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+    }
+}
+
+/// The per-node interface handed to [`Program`] callbacks.
+///
+/// A `Ctx` deliberately exposes only what a CONGEST processor knows
+/// locally: its own id, `n`, the current round, and its incident edges.
+pub struct Ctx<'a> {
+    node: NodeId,
+    n: usize,
+    round: u64,
+    neighbors: &'a [(NodeId, Weight, EdgeId)],
+    staged: &'a mut Vec<(NodeId, Message)>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Creates a context. Only execution engines call this; programs
+    /// always receive a ready-made `Ctx`.
+    ///
+    /// `staged` collects this node's outgoing `(to, message)` pairs for
+    /// the engine to drain after the callback returns.
+    #[doc(hidden)]
+    pub fn new(
+        node: NodeId,
+        n: usize,
+        round: u64,
+        neighbors: &'a [(NodeId, Weight, EdgeId)],
+        staged: &'a mut Vec<(NodeId, Message)>,
+    ) -> Self {
+        Ctx {
+            node,
+            n,
+            round,
+            neighbors,
+            staged,
+        }
+    }
+
+    /// This processor's vertex id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of vertices in the network (globally known, as usual in
+    /// CONGEST algorithm statements).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current round (0 during [`Program::init`]).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Incident edges: `(neighbor, weight, edge id)`.
+    pub fn neighbors(&self) -> &[(NodeId, Weight, EdgeId)] {
+        self.neighbors
+    }
+
+    /// Degree of this vertex.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Enqueues `msg` on the edge towards `to`. The message is delivered
+    /// in a later round, once the edge's earlier traffic has drained
+    /// (at most [`Executor::cap`](crate::Executor::cap) messages cross
+    /// per round).
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbor — a CONGEST processor can only
+    /// ever address its neighbors.
+    pub fn send(&mut self, to: NodeId, msg: Message) {
+        debug_assert!(
+            self.neighbors.iter().any(|&(v, _, _)| v == to),
+            "node {} tried to send to non-neighbor {}",
+            self.node,
+            to
+        );
+        self.staged.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn send_all(&mut self, msg: Message) {
+        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _, _)| v).collect();
+        for v in targets {
+            self.send(v, msg.clone());
+        }
+    }
+}
+
+/// A per-node state machine executed by an [`Executor`](crate::Executor).
+///
+/// One instance exists per vertex. `init` runs before the first round;
+/// `round` runs every round with the messages delivered *this* round.
+/// Execution stops when every edge queue is empty and every program
+/// reports [`Program::is_quiescent`].
+pub trait Program {
+    /// Per-node result collected by [`Executor::run`](crate::Executor::run).
+    type Output;
+
+    /// Called once before round 1; may send messages.
+    fn init(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Called once per round with this round's delivered messages
+    /// (possibly empty), as `(sender, message)` pairs ordered
+    /// deterministically by edge.
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]);
+
+    /// Whether this node is passive (waiting for messages). A node that
+    /// intends to act in a future round despite an empty inbox must
+    /// return `false`, otherwise the simulation may stop early.
+    fn is_quiescent(&self) -> bool {
+        true
+    }
+
+    /// Consumes the program and yields its output after the run.
+    fn finish(self) -> Self::Output;
+}

@@ -1,120 +1,11 @@
-//! The round loop: per-edge FIFO queues with a bandwidth cap.
+//! The sequential reference engine: per-edge FIFO queues with a
+//! bandwidth cap.
 
+use crate::exec::Executor;
 use crate::message::Message;
-use lightgraph::{EdgeId, Graph, NodeId, Weight};
+use crate::program::{Ctx, Program, RunStats};
+use lightgraph::{EdgeId, Graph, NodeId};
 use std::collections::{HashMap, VecDeque};
-
-/// Round and message counts for one run (or accumulated over several —
-/// see [`Simulator::total`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RunStats {
-    /// Number of communication rounds executed.
-    pub rounds: u64,
-    /// Number of messages delivered.
-    pub messages: u64,
-}
-
-impl RunStats {
-    /// Adds another run's counts into this one.
-    pub fn absorb(&mut self, other: RunStats) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-    }
-}
-
-/// The per-node interface handed to [`Program`] callbacks.
-///
-/// A `Ctx` deliberately exposes only what a CONGEST processor knows
-/// locally: its own id, `n`, the current round, and its incident edges.
-pub struct Ctx<'a> {
-    node: NodeId,
-    n: usize,
-    round: u64,
-    neighbors: &'a [(NodeId, Weight, EdgeId)],
-    staged: &'a mut Vec<(NodeId, Message)>,
-}
-
-impl<'a> Ctx<'a> {
-    /// This processor's vertex id.
-    pub fn node(&self) -> NodeId {
-        self.node
-    }
-
-    /// Number of vertices in the network (globally known, as usual in
-    /// CONGEST algorithm statements).
-    pub fn n(&self) -> usize {
-        self.n
-    }
-
-    /// The current round (0 during [`Program::init`]).
-    pub fn round(&self) -> u64 {
-        self.round
-    }
-
-    /// Incident edges: `(neighbor, weight, edge id)`.
-    pub fn neighbors(&self) -> &[(NodeId, Weight, EdgeId)] {
-        self.neighbors
-    }
-
-    /// Degree of this vertex.
-    pub fn degree(&self) -> usize {
-        self.neighbors.len()
-    }
-
-    /// Enqueues `msg` on the edge towards `to`. The message is delivered
-    /// in a later round, once the edge's earlier traffic has drained
-    /// (at most [`Simulator::cap`] messages cross per round).
-    ///
-    /// # Panics
-    /// Panics if `to` is not a neighbor — a CONGEST processor can only
-    /// ever address its neighbors.
-    pub fn send(&mut self, to: NodeId, msg: Message) {
-        debug_assert!(
-            self.neighbors.iter().any(|&(v, _, _)| v == to),
-            "node {} tried to send to non-neighbor {}",
-            self.node,
-            to
-        );
-        self.staged.push((to, msg));
-    }
-
-    /// Sends a copy of `msg` to every neighbor.
-    pub fn send_all(&mut self, msg: Message) {
-        let targets: Vec<NodeId> = self.neighbors.iter().map(|&(v, _, _)| v).collect();
-        for v in targets {
-            self.send(v, msg.clone());
-        }
-    }
-}
-
-/// A per-node state machine executed by the [`Simulator`].
-///
-/// One instance exists per vertex. `init` runs before the first round;
-/// `round` runs every round with the messages delivered *this* round.
-/// Execution stops when every edge queue is empty and every program
-/// reports [`Program::is_quiescent`].
-pub trait Program {
-    /// Per-node result collected by [`Simulator::run`].
-    type Output;
-
-    /// Called once before round 1; may send messages.
-    fn init(&mut self, ctx: &mut Ctx<'_>);
-
-    /// Called once per round with this round's delivered messages
-    /// (possibly empty), as `(sender, message)` pairs ordered
-    /// deterministically by edge.
-    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]);
-
-    /// Whether this node is passive (waiting for messages). A node that
-    /// intends to act in a future round despite an empty inbox must
-    /// return `false`, otherwise the simulation may stop early.
-    fn is_quiescent(&self) -> bool {
-        true
-    }
-
-    /// Consumes the program and yields its output after the run.
-    fn finish(self) -> Self::Output;
-}
 
 /// The CONGEST network simulator.
 ///
@@ -123,6 +14,10 @@ pub trait Program {
 /// [`Simulator::total`], so a composite algorithm (an orchestration of
 /// several program runs with free local computation in between) is
 /// charged the sum of its phases, matching the paper's accounting.
+///
+/// This is the *reference* engine: simple, sequential, and the
+/// semantics against which the parallel engine (`crates/engine`) is
+/// property-tested for bit-identical behavior.
 pub struct Simulator<'g> {
     graph: &'g Graph,
     cap: usize,
@@ -151,10 +46,17 @@ impl<'g> Simulator<'g> {
             edge_of[e.u].entry(e.v).or_insert(id);
             edge_of[e.v].entry(e.u).or_insert(id);
         }
-        Simulator { graph, cap: 1, max_rounds: 50_000_000, total: RunStats::default(), edge_of }
+        Simulator {
+            graph,
+            cap: 1,
+            max_rounds: 50_000_000,
+            total: RunStats::default(),
+            edge_of,
+        }
     }
 
-    /// The underlying graph.
+    /// The underlying graph (with the graph's own lifetime, so the
+    /// reference can outlive a borrow of the simulator).
     pub fn graph(&self) -> &'g Graph {
         self.graph
     }
@@ -216,7 +118,8 @@ impl<'g> Simulator<'g> {
         let n = self.graph.n();
         let mut programs: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         // queue index = 2 * edge_id + dir, dir 0 = u->v.
-        let mut queues: Vec<VecDeque<(NodeId, Message)>> = vec![VecDeque::new(); 2 * self.graph.m()];
+        let mut queues: Vec<VecDeque<(NodeId, Message)>> =
+            vec![VecDeque::new(); 2 * self.graph.m()];
         let mut stats = RunStats::default();
         let mut staged: Vec<(NodeId, Message)> = Vec::new();
 
@@ -234,13 +137,7 @@ impl<'g> Simulator<'g> {
 
         // init
         for (v, p) in programs.iter_mut().enumerate() {
-            let mut ctx = Ctx {
-                node: v,
-                n,
-                round: 0,
-                neighbors: self.graph.neighbors(v),
-                staged: &mut staged,
-            };
+            let mut ctx = Ctx::new(v, n, 0, self.graph.neighbors(v), &mut staged);
             p.init(&mut ctx);
             for (to, msg) in staged.drain(..) {
                 queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
@@ -275,13 +172,7 @@ impl<'g> Simulator<'g> {
                 }
             }
             for (v, p) in programs.iter_mut().enumerate() {
-                let mut ctx = Ctx {
-                    node: v,
-                    n,
-                    round: stats.rounds,
-                    neighbors: self.graph.neighbors(v),
-                    staged: &mut staged,
-                };
+                let mut ctx = Ctx::new(v, n, stats.rounds, self.graph.neighbors(v), &mut staged);
                 p.round(&mut ctx, &inboxes[v]);
                 for (to, msg) in staged.drain(..) {
                     queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
@@ -297,10 +188,57 @@ impl<'g> Simulator<'g> {
     }
 }
 
+impl<'g> Executor for Simulator<'g> {
+    type Sub<'h> = Simulator<'h>;
+
+    fn sub<'h>(&self, graph: &'h Graph) -> Simulator<'h> {
+        let mut sub = Simulator::new(graph);
+        sub.cap = self.cap;
+        sub.max_rounds = self.max_rounds;
+        sub
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn set_cap(&mut self, cap: usize) {
+        Simulator::set_cap(self, cap)
+    }
+
+    fn set_max_rounds(&mut self, max_rounds: u64) {
+        Simulator::set_max_rounds(self, max_rounds)
+    }
+
+    fn total(&self) -> RunStats {
+        self.total
+    }
+
+    fn reset_total(&mut self) {
+        Simulator::reset_total(self)
+    }
+
+    fn charge(&mut self, stats: RunStats) {
+        Simulator::charge(self, stats)
+    }
+
+    fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)
+    where
+        P: Program + Send,
+        P::Output: Send,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        Simulator::run(self, make)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lightgraph::generators;
 
     /// Each node sends its id to all neighbors once; everyone records
     /// what it hears.
@@ -332,8 +270,7 @@ mod tests {
         assert_eq!(stats.rounds, 1);
         assert_eq!(stats.messages, 2 * g.m() as u64);
         for (v, heard) in out.iter().enumerate() {
-            let mut expect: Vec<NodeId> =
-                g.neighbors(v).iter().map(|&(u, _, _)| u).collect();
+            let mut expect: Vec<NodeId> = g.neighbors(v).iter().map(|&(u, _, _)| u).collect();
             let mut got = heard.clone();
             expect.sort_unstable();
             got.sort_unstable();
@@ -370,7 +307,10 @@ mod tests {
         let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
         let mut sim = Simulator::new(&g);
         let (out, stats) = sim.run(|_, _| Burst { k: 10, received: 0 });
-        assert_eq!(stats.rounds, 10, "10 messages over one edge at cap 1 = 10 rounds");
+        assert_eq!(
+            stats.rounds, 10,
+            "10 messages over one edge at cap 1 = 10 rounds"
+        );
         assert_eq!(out[1], 10);
 
         let mut sim2 = Simulator::new(&g);
@@ -400,7 +340,8 @@ mod tests {
                 ctx.send_all(Message::words(&[0]));
             }
             fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
-                for (from, _) in inbox.to_vec() {
+                let senders: Vec<NodeId> = inbox.iter().map(|&(from, _)| from).collect();
+                for from in senders {
                     ctx.send(from, Message::words(&[0]));
                 }
             }
@@ -438,5 +379,23 @@ mod tests {
         assert_eq!(out, vec![0, 0]);
     }
 
+    #[test]
+    fn sub_executor_inherits_configuration() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let h = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.set_cap(5);
+        let mut sub = Executor::sub(&sim, &h);
+        assert_eq!(Executor::cap(&sub), 5);
+        let (_, stats) = Executor::run(&mut sub, |_, _| Burst { k: 10, received: 0 });
+        assert_eq!(stats.rounds, 2, "inherited cap 5 halves the rounds");
+        assert_eq!(
+            sim.total(),
+            RunStats::default(),
+            "sub stats are independent"
+        );
+    }
+
+    use lightgraph::generators;
     use lightgraph::Graph;
 }

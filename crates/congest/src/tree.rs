@@ -6,8 +6,9 @@
 //! at our disposal." We build it once per composite algorithm and charge
 //! its O(D) rounds.
 
+use crate::exec::Executor;
 use crate::message::Message;
-use crate::sim::{Ctx, Program, RunStats, Simulator};
+use crate::program::{Ctx, Program, RunStats};
 use lightgraph::NodeId;
 
 /// A rooted BFS tree over the simulated network.
@@ -91,7 +92,7 @@ impl Program for BfsProgram {
 ///
 /// # Panics
 /// Panics if the network is disconnected (some vertex never joins).
-pub fn build_bfs_tree(sim: &mut Simulator<'_>, root: NodeId) -> (BfsTree, RunStats) {
+pub fn build_bfs_tree<E: Executor>(sim: &mut E, root: NodeId) -> (BfsTree, RunStats) {
     let (out, stats) = sim.run(|_, _| BfsProgram {
         root,
         parent: None,
@@ -121,6 +122,7 @@ pub fn build_bfs_tree(sim: &mut Simulator<'_>, root: NodeId) -> (BfsTree, RunSta
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Simulator;
     use lightgraph::generators;
 
     #[test]

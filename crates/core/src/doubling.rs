@@ -14,7 +14,7 @@
 
 use crate::nets::net;
 use congest::tree::BfsTree;
-use congest::{RunStats, Simulator};
+use congest::{Executor, RunStats};
 use dist_mst::boruvka::distributed_mst;
 use dist_sssp::bellman::multi_source_bounded;
 use lightgraph::{EdgeId, NodeId, Weight};
@@ -38,7 +38,7 @@ pub struct DoublingSpanner {
 /// only *bounded* when the input has small doubling dimension; the
 /// algorithm itself runs on any graph.
 pub fn doubling_spanner(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     rt: NodeId,
     epsilon: f64,
@@ -46,10 +46,17 @@ pub fn doubling_spanner(
 ) -> DoublingSpanner {
     assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0,1]");
     let start = sim.total();
-    let g = sim.graph();
+    // Owned copy: the per-scale loop borrows `g` across `&mut sim`
+    // phases (see `distributed_mst` for the rationale).
+    let g_owned = sim.graph().clone();
+    let g = &g_owned;
     let n = g.n();
     if n <= 1 {
-        return DoublingSpanner { edges: Vec::new(), scales: 0, stats: RunStats::default() };
+        return DoublingSpanner {
+            edges: Vec::new(),
+            scales: 0,
+            stats: RunStats::default(),
+        };
     }
 
     // The MST weight bounds the largest useful scale; the distributed
@@ -105,16 +112,25 @@ pub fn doubling_spanner(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    DoublingSpanner { edges, scales, stats }
+    DoublingSpanner {
+        edges,
+        scales,
+        stats,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{generators, metrics};
 
-    fn check(g: &lightgraph::Graph, eps: f64, seed: u64) -> (metrics::SpannerQuality, DoublingSpanner) {
+    fn check(
+        g: &lightgraph::Graph,
+        eps: f64,
+        seed: u64,
+    ) -> (metrics::SpannerQuality, DoublingSpanner) {
         let mut sim = Simulator::new(g);
         let (tau, _) = build_bfs_tree(&mut sim, 0);
         let r = doubling_spanner(&mut sim, &tau, 0, eps, seed);

@@ -36,13 +36,13 @@
 use crate::tour_sweep::{tour_sweep, Direction, TourRouting};
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{pack2, Ctx, Message, Program, RunStats, Simulator, Word};
+use congest::{pack2, Ctx, Executor, Message, Program, RunStats, Word};
 use dist_mst::boruvka::distributed_mst;
 use dist_mst::euler::distributed_euler_tour;
 use lightgraph::{EdgeId, NodeId, Weight};
 use sparse_spanner::baswana_sen::baswana_sen;
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 const TAG_STATE: u64 = 70;
 
@@ -95,8 +95,7 @@ fn cluster_radii(clusters: &[u64], k: usize, seed: u64) -> HashMap<u64, f64> {
         let radii: HashMap<u64, f64> = clusters
             .iter()
             .map(|&c| {
-                let u = ((splitmix64(seed ^ attempt << 40 ^ c) >> 11) as f64
-                    / (1u64 << 53) as f64)
+                let u = ((splitmix64(seed ^ attempt << 40 ^ c) >> 11) as f64 / (1u64 << 53) as f64)
                     .max(f64::EPSILON);
                 (c, -u.ln() / beta)
             })
@@ -124,7 +123,8 @@ impl Program for StateExchange {
     fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
         for (from, msg) in inbox {
             debug_assert_eq!(msg.word(0), TAG_STATE);
-            self.heard.insert(*from, [msg.word(1), msg.word(2), msg.word(3)]);
+            self.heard
+                .insert(*from, [msg.word(1), msg.word(2), msg.word(3)]);
         }
     }
     fn finish(self) -> Self::Output {
@@ -133,10 +133,13 @@ impl Program for StateExchange {
 }
 
 fn exchange_states(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     payload: impl Fn(NodeId) -> [Word; 3],
 ) -> Vec<HashMap<NodeId, [Word; 3]>> {
-    let (out, _) = sim.run(|v, _| StateExchange { payload: payload(v), heard: HashMap::new() });
+    let (out, _) = sim.run(|v, _| StateExchange {
+        payload: payload(v),
+        heard: HashMap::new(),
+    });
     out
 }
 
@@ -151,7 +154,7 @@ struct BucketContext<'a> {
 /// Case 1: EN17b on the cluster graph with global (convergecast +
 /// broadcast) coordination.
 fn simulate_case1(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     ctx: &BucketContext<'_>,
     seed: u64,
     chosen: &mut HashSet<EdgeId>,
@@ -181,8 +184,10 @@ fn simulate_case1(
 
     for _round in 0..ctx.k {
         // broadcast the current table
-        let items: Vec<collective::Item> =
-            table.iter().map(|(&c, st)| (c, [enc(st.m, shift), st.s])).collect();
+        let items: Vec<collective::Item> = table
+            .iter()
+            .map(|(&c, st)| (c, [enc(st.m, shift), st.s]))
+            .collect();
         let (recv, _) = collective::broadcast(sim, ctx.tau, items);
         debug_assert!(recv.iter().all(|r| r.len() == table.len()));
         // local max over neighbor clusters, convergecast per own cluster
@@ -201,18 +206,20 @@ fn simulate_case1(
                         continue;
                     }
                     if let Some(st) = table_ref.get(&b) {
-                        let cand = ClusterState { m: st.m - 1.0, s: st.s };
+                        let cand = ClusterState {
+                            m: st.m - 1.0,
+                            s: st.s,
+                        };
                         if best
-                            .map(|cur| {
-                                cand.m > cur.m || (cand.m == cur.m && cand.s < cur.s)
-                            })
+                            .map(|cur| cand.m > cur.m || (cand.m == cur.m && cand.s < cur.s))
                             .unwrap_or(true)
                         {
                             best = Some(cand);
                         }
                     }
                 }
-                best.map(|st| vec![(a, [enc(st.m, shift), st.s])]).unwrap_or_default()
+                best.map(|st| vec![(a, [enc(st.m, shift), st.s])])
+                    .unwrap_or_default()
             },
             |_, a, b| {
                 if a[0] > b[0] || (a[0] == b[0] && a[1] <= b[1]) {
@@ -224,7 +231,10 @@ fn simulate_case1(
         );
         // rt merges and the next iteration's broadcast distributes it
         for (&c, &[mb, s]) in &maxima {
-            let cand = ClusterState { m: dec(mb, shift), s };
+            let cand = ClusterState {
+                m: dec(mb, shift),
+                s,
+            };
             let cur = table.get_mut(&c).expect("active cluster");
             if cand.m > cur.m || (cand.m == cur.m && cand.s < cur.s) {
                 *cur = cand;
@@ -233,8 +243,10 @@ fn simulate_case1(
     }
 
     // final table broadcast + edge selection convergecast
-    let items: Vec<collective::Item> =
-        table.iter().map(|(&c, st)| (c, [enc(st.m, shift), st.s])).collect();
+    let items: Vec<collective::Item> = table
+        .iter()
+        .map(|(&c, st)| (c, [enc(st.m, shift), st.s]))
+        .collect();
     let (recv, _) = collective::broadcast(sim, ctx.tau, items);
     debug_assert!(recv.iter().all(|r| r.len() == table.len()));
     let table_ref = &table;
@@ -242,7 +254,9 @@ fn simulate_case1(
     let bucket_edges = &ctx.bucket_edges;
     let (selected, _) = collective::converge_min(sim, ctx.tau, |v| {
         let a = cluster_of[v];
-        let Some(my) = table_ref.get(&a) else { return Vec::new() };
+        let Some(my) = table_ref.get(&a) else {
+            return Vec::new();
+        };
         let mut items = Vec::new();
         for &(u, w, e) in &bucket_edges[v] {
             let b = cluster_of[u];
@@ -262,7 +276,7 @@ fn simulate_case1(
         selected.iter().map(|(&key, &val)| (key, val)).collect();
     let (recv, _) = collective::broadcast(sim, ctx.tau, chosen_items);
     debug_assert!(recv.iter().all(|r| r.len() == selected.len()));
-    for (_, &[_, e]) in &selected {
+    for &[_, e] in selected.values() {
         chosen.insert(e as EdgeId);
     }
 }
@@ -270,7 +284,7 @@ fn simulate_case1(
 /// Case 2: EN17b with interval-local coordination along the Euler tour.
 #[allow(clippy::too_many_arguments)]
 fn simulate_case2(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     ctx: &BucketContext<'_>,
     routing: &TourRouting,
     center_of: &[usize],
@@ -316,12 +330,13 @@ fn simulate_case2(
 
     // vertex-level knowledge of its own cluster's state, refreshed by
     // the LTR sweep each iteration
-    let mut known: Vec<Option<ClusterState>> =
-        (0..n).map(|v| state.get(&ctx.cluster_of[v]).copied()).collect();
+    let mut known: Vec<Option<ClusterState>> = (0..n)
+        .map(|v| state.get(&ctx.cluster_of[v]).copied())
+        .collect();
 
     for round in 0..=ctx.k {
         // (a) LTR sweep distributing center state through intervals
-        let state_rc = Rc::new(state.clone());
+        let state_rc = Arc::new(state.clone());
         let is_center_ref = &is_center;
         let (_ltr, _) = tour_sweep(
             sim,
@@ -350,7 +365,10 @@ fn simulate_case2(
         let cluster_of = &ctx.cluster_of;
         let known_ref = &known;
         let heard = exchange_states(sim, |v| {
-            let st = known_ref[v].unwrap_or(ClusterState { m: -1.0e9, s: u64::MAX });
+            let st = known_ref[v].unwrap_or(ClusterState {
+                m: -1.0e9,
+                s: u64::MAX,
+            });
             [cluster_of[v], enc(st.m, 1.0e9), st.s]
         });
         // (c) local candidate per vertex
@@ -380,21 +398,21 @@ fn simulate_case2(
                 neutral
             }
         };
-        let cand_rc = Rc::new(cand.clone());
-        let first_app_rc = Rc::new(first_app.to_vec());
-        let cluster_rc = Rc::new(ctx.cluster_of.to_vec());
-        let center_rc = Rc::new(center_of.to_vec());
+        let cand_rc = Arc::new(cand.clone());
+        let first_app_rc = Arc::new(first_app.to_vec());
+        let cluster_rc = Arc::new(ctx.cluster_of.to_vec());
+        let center_rc = Arc::new(center_of.to_vec());
         let (rtl, _) = tour_sweep(
             sim,
             routing,
             Direction::RightToLeft,
             |p| is_center_ref[p],
-            &contribution,
+            contribution,
             |v| {
-                let cand = Rc::clone(&cand_rc);
-                let first_app = Rc::clone(&first_app_rc);
-                let cluster = Rc::clone(&cluster_rc);
-                let center = Rc::clone(&center_rc);
+                let cand = Arc::clone(&cand_rc);
+                let first_app = Arc::clone(&first_app_rc);
+                let cluster = Arc::clone(&cluster_rc);
+                let center = Arc::clone(&center_rc);
                 move |p: usize, t: [u64; 2]| {
                     let mine = if first_app[v] == p && cluster[v] == center[p] as u64 {
                         cand[v]
@@ -432,7 +450,10 @@ fn simulate_case2(
                 continue;
             }
             if let Some(cur) = state.get_mut(&c) {
-                let cand = ClusterState { m: dec(mb, shift), s };
+                let cand = ClusterState {
+                    m: dec(mb, shift),
+                    s,
+                };
                 if cand.m > cur.m || (cand.m == cur.m && cand.s < cur.s) {
                     *cur = cand;
                 }
@@ -450,7 +471,10 @@ fn simulate_case2(
     let cluster_of = &ctx.cluster_of;
     let known_ref = &known;
     let heard = exchange_states(sim, |v| {
-        let st = known_ref[v].unwrap_or(ClusterState { m: -1.0e9, s: u64::MAX });
+        let st = known_ref[v].unwrap_or(ClusterState {
+            m: -1.0e9,
+            s: u64::MAX,
+        });
         [cluster_of[v], enc(st.m, 1.0e9), st.s]
     });
     let mut per_cluster_source: HashMap<(u64, u64), (Weight, EdgeId)> = HashMap::new();
@@ -491,7 +515,7 @@ fn simulate_case2(
 /// Builds a `(2k−1)(1+O(ε))`-spanner with `O(k·n^{1+1/k})` edges and
 /// lightness `O(k·n^{1/k})` (Theorem 2).
 pub fn light_spanner(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     rt: NodeId,
     k: usize,
@@ -501,7 +525,10 @@ pub fn light_spanner(
     assert!(k >= 1, "k must be at least 1");
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
     let start = sim.total();
-    let g = sim.graph();
+    // Owned copy: bucket processing borrows `g` across `&mut sim`
+    // phases (see `distributed_mst` for the rationale).
+    let g_owned = sim.graph().clone();
+    let g = &g_owned;
     let n = g.n();
     if n <= 1 {
         return LightSpannerResult {
@@ -528,13 +555,13 @@ pub fn light_spanner(
 
     // E′: Baswana–Sen on the light edges.
     let light_cut = l_total / (n as u64).max(1);
-    let light_ids: Vec<EdgeId> =
-        (0..g.m()).filter(|&e| g.edge(e).w <= light_cut).collect();
+    let light_ids: Vec<EdgeId> = (0..g.m()).filter(|&e| g.edge(e).w <= light_cut).collect();
     if !light_ids.is_empty() {
         let (sub, map) = g.edge_subgraph_with_map(light_ids.iter().copied());
-        let mut sub_sim = Simulator::new(&sub);
+        let mut sub_sim = sim.sub(&sub);
         let bs = baswana_sen(&mut sub_sim, k, seed ^ 0xb5);
-        sim.charge(sub_sim.total());
+        let sub_total = sub_sim.total();
+        sim.charge(sub_total);
         chosen.extend(bs.edges.iter().map(|&e| map[e]));
     }
 
@@ -546,8 +573,7 @@ pub fn light_spanner(
         if w <= light_cut || w > l_total {
             continue;
         }
-        let i = (((l_total as f64) / (w as f64)).ln() / (1.0 + epsilon).ln()).floor()
-            as usize;
+        let i = (((l_total as f64) / (w as f64)).ln() / (1.0 + epsilon).ln()).floor() as usize;
         buckets[i.min(imax)].push(e);
     }
 
@@ -576,7 +602,13 @@ pub fn light_spanner(
             let cluster_of: Vec<u64> = (0..n)
                 .map(|v| (times[first_app[v]] as f64 / cluster_width).ceil() as u64)
                 .collect();
-            let bctx = BucketContext { bucket_edges, cluster_of, k, shift, tau };
+            let bctx = BucketContext {
+                bucket_edges,
+                cluster_of,
+                k,
+                shift,
+                tau,
+            };
             simulate_case1(sim, &bctx, seed ^ (i as u64) << 32, &mut chosen);
         } else {
             case2_buckets += 1;
@@ -597,9 +629,14 @@ pub fn light_spanner(
                 }
                 center_of[p] = last_center;
             }
-            let cluster_of: Vec<u64> =
-                (0..n).map(|v| center_of[first_app[v]] as u64).collect();
-            let bctx = BucketContext { bucket_edges, cluster_of, k, shift, tau };
+            let cluster_of: Vec<u64> = (0..n).map(|v| center_of[first_app[v]] as u64).collect();
+            let bctx = BucketContext {
+                bucket_edges,
+                cluster_of,
+                k,
+                shift,
+                tau,
+            };
             simulate_case2(
                 sim,
                 &bctx,
@@ -617,13 +654,19 @@ pub fn light_spanner(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    LightSpannerResult { edges, case1_buckets, case2_buckets, stats }
+    LightSpannerResult {
+        edges,
+        case1_buckets,
+        case2_buckets,
+        stats,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{generators, metrics};
 
     fn check(
@@ -678,10 +721,16 @@ mod tests {
         let n = 48;
         let mut g = generators::path(n, 1);
         let l = 2 * (n as u64 - 1);
-        for (i, (u, v)) in [(0usize, 40usize), (3, 30), (7, 44), (11, 37)].iter().enumerate() {
+        for (i, (u, v)) in [(0usize, 40usize), (3, 30), (7, 44), (11, 37)]
+            .iter()
+            .enumerate()
+        {
             g.add_edge(*u, *v, l - 4 - i as u64).unwrap(); // heaviest bucket
         }
-        for (i, (u, v)) in [(2usize, 20usize), (5, 25), (9, 33), (14, 41)].iter().enumerate() {
+        for (i, (u, v)) in [(2usize, 20usize), (5, 25), (9, 33), (14, 41)]
+            .iter()
+            .enumerate()
+        {
             g.add_edge(*u, *v, 8 + i as u64).unwrap(); // mid buckets
         }
         let (_, r) = check(&g, 2, 0.25, 5);

@@ -16,7 +16,7 @@
 
 use crate::nets::net;
 use congest::tree::BfsTree;
-use congest::{RunStats, Simulator};
+use congest::{Executor, RunStats};
 use lightgraph::Weight;
 
 /// Result of the MST-weight estimation from nets.
@@ -37,11 +37,7 @@ pub struct MstWeightEstimate {
 ///
 /// Guarantee (proved in §8): `L ≤ Ψ ≤ O(α log n) · L` where `L` is the
 /// MST weight.
-pub fn estimate_mst_weight(
-    sim: &mut Simulator<'_>,
-    tau: &BfsTree,
-    seed: u64,
-) -> MstWeightEstimate {
+pub fn estimate_mst_weight(sim: &mut impl Executor, tau: &BfsTree, seed: u64) -> MstWeightEstimate {
     let start = sim.total();
     let delta = 0.5;
     let alpha = 1.0 + delta;
@@ -65,13 +61,19 @@ pub fn estimate_mst_weight(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    MstWeightEstimate { psi, scales, alpha, stats }
+    MstWeightEstimate {
+        psi,
+        scales,
+        alpha,
+        stats,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{generators, mst};
 
     fn check(g: &lightgraph::Graph, seed: u64) {
@@ -79,11 +81,7 @@ mod tests {
         let mut sim = Simulator::new(g);
         let (tau, _) = build_bfs_tree(&mut sim, 0);
         let est = estimate_mst_weight(&mut sim, &tau, seed);
-        assert!(
-            est.psi >= l,
-            "Ψ = {} below the MST weight {l}",
-            est.psi
-        );
+        assert!(est.psi >= l, "Ψ = {} below the MST weight {l}", est.psi);
         let log_n = (g.n().max(2) as f64).log2();
         let upper = (est.alpha * 16.0 * log_n * l as f64).ceil() as Weight + 16;
         assert!(

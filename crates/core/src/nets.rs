@@ -18,7 +18,7 @@
 
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{RunStats, Simulator};
+use congest::{Executor, RunStats};
 use dist_sssp::bellman::multi_source_bounded;
 use dist_sssp::le_lists::le_lists;
 use lightgraph::{NodeId, Weight};
@@ -44,7 +44,7 @@ pub struct NetResult {
 /// `O(log n)` bound holds w.h.p., so this indicates a seed catastrophe
 /// rather than an expected outcome.
 pub fn net(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     big_delta: Weight,
     delta: f64,
@@ -67,7 +67,14 @@ pub fn net(
             "net construction exceeded {max_iters} iterations"
         );
         // (1)-(2) permutation + LE lists w.r.t. the auxiliary H.
-        let le = le_lists(sim, tau, &active, big_delta, delta, seed ^ (iterations as u64) << 13);
+        let le = le_lists(
+            sim,
+            tau,
+            &active,
+            big_delta,
+            delta,
+            seed ^ (iterations as u64) << 13,
+        );
         // (3) join test (local).
         let new_points: Vec<NodeId> = (0..n)
             .filter(|&v| active[v] && le.is_local_minimum(v, big_delta))
@@ -86,9 +93,8 @@ pub fn net(
         points.extend(&new_points);
         // (5) global termination census: any active vertex left?
         let active_ref = &active;
-        let (census, _) = collective::converge_max(sim, tau, |v| {
-            vec![(0, [active_ref[v] as u64, 0])]
-        });
+        let (census, _) =
+            collective::converge_max(sim, tau, |v| vec![(0, [active_ref[v] as u64, 0])]);
         if census[&0][0] == 0 {
             break;
         }
@@ -98,7 +104,11 @@ pub fn net(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    NetResult { points, iterations, stats }
+    NetResult {
+        points,
+        iterations,
+        stats,
+    }
 }
 
 /// Checks the net properties exactly (sequential oracle used by tests
@@ -132,6 +142,7 @@ pub fn net_quality(g: &lightgraph::Graph, points: &[NodeId]) -> (Weight, Weight)
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::generators;
 
     fn check_net(g: &lightgraph::Graph, big_delta: Weight, delta: f64, seed: u64) -> NetResult {
@@ -147,10 +158,7 @@ mod tests {
         );
         if r.points.len() > 1 {
             let beta = ((big_delta as f64) / (1.0 + delta)).floor() as Weight;
-            assert!(
-                sep >= beta,
-                "separation {sep} below ∆/(1+δ) = {beta}"
-            );
+            assert!(sep >= beta, "separation {sep} below ∆/(1+δ) = {beta}");
         }
         r
     }

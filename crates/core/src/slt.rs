@@ -21,12 +21,12 @@
 use crate::tour_sweep::{tour_sweep, Direction, TourRouting};
 use congest::collective;
 use congest::tree::{build_bfs_tree, BfsTree};
-use congest::{Ctx, Message, Program, RunStats, Simulator};
+use congest::{Ctx, Executor, Message, Program, RunStats, Simulator};
 use dist_mst::boruvka::distributed_mst;
 use dist_mst::euler::distributed_euler_tour;
 use dist_sssp::landmark::{approx_spt, SptConfig};
 use lightgraph::{EdgeId, Graph, NodeId, Weight};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Result of the distributed SLT construction.
 #[derive(Debug, Clone)]
@@ -86,7 +86,7 @@ fn joins(r_x: Weight, r_prev: Weight, d_rt: Weight, epsilon: f64) -> bool {
 /// # Panics
 /// Panics if the graph is disconnected or `epsilon` is not positive.
 pub fn shallow_light_tree(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     rt: NodeId,
     epsilon: f64,
@@ -94,10 +94,18 @@ pub fn shallow_light_tree(
 ) -> SltResult {
     assert!(epsilon > 0.0, "epsilon must be positive");
     let start = sim.total();
-    let g = sim.graph();
+    // Owned copy: the phases below borrow `g` across `&mut sim` runs
+    // (see `distributed_mst` for the rationale).
+    let g_owned = sim.graph().clone();
+    let g = &g_owned;
     let n = g.n();
     if n <= 1 {
-        return SltResult { root: rt, edges: Vec::new(), breakpoints: 0, stats: RunStats::default() };
+        return SltResult {
+            root: rt,
+            edges: Vec::new(),
+            breakpoints: 0,
+            stats: RunStats::default(),
+        };
     }
 
     // (1) MST, Euler tour, approximate SPT.
@@ -107,12 +115,12 @@ pub fn shallow_light_tree(
     let spt = approx_spt(sim, tau, rt, &SptConfig::new(seed ^ 0x51f7));
 
     let (seq, times) = tour.assemble();
-    let times = Rc::new(times);
+    let times = Arc::new(times);
     let alpha = (n as f64).sqrt().ceil() as usize;
 
     // (2a) BP₁: parallel sequential scans inside the intervals.
-    let dist = Rc::new(spt.dist.clone());
-    let seq_rc = Rc::new(seq.clone());
+    let dist = Arc::new(spt.dist.clone());
+    let seq_rc = Arc::new(seq.clone());
     let eps = epsilon;
     let (sweep_out, _) = tour_sweep(
         sim,
@@ -121,9 +129,9 @@ pub fn shallow_light_tree(
         |p| p % alpha == 0,
         |p| [times[p], 0],
         |v| {
-            let times = Rc::clone(&times);
-            let dist = Rc::clone(&dist);
-            let seq = Rc::clone(&seq_rc);
+            let times = Arc::clone(&times);
+            let dist = Arc::clone(&dist);
+            let seq = Arc::clone(&seq_rc);
             move |pos: usize, tok: [u64; 2]| {
                 debug_assert_eq!(seq[pos], v);
                 if joins(times[pos], tok[0], dist[v], eps) {
@@ -179,7 +187,10 @@ pub fn shallow_light_tree(
     // (3) H = T ∪ paths: mark A_BP up the SPT and add parent edges.
     let is_bp_ref = &is_bp;
     let spt_parent = &spt.parent;
-    let (marked, _) = sim.run(|v, _| MarkUp { parent: spt_parent[v], marked: is_bp_ref[v] });
+    let (marked, _) = sim.run(|v, _| MarkUp {
+        parent: spt_parent[v],
+        marked: is_bp_ref[v],
+    });
     let mut h_edges: Vec<EdgeId> = mst.mst_edges.clone();
     for v in 0..n {
         if v != rt && marked[v] {
@@ -197,18 +208,27 @@ pub fn shallow_light_tree(
 
     // (4) final approximate SPT inside H.
     let (h_graph, id_map) = g.edge_subgraph_with_map(h_edges);
-    let mut h_sim = Simulator::new(&h_graph);
+    let mut h_sim = sim.sub(&h_graph);
     let (h_tau, _) = build_bfs_tree(&mut h_sim, rt);
     let final_spt = approx_spt(&mut h_sim, &h_tau, rt, &SptConfig::new(seed ^ 0x7e57));
-    sim.charge(h_sim.total());
-    let mut edges: Vec<EdgeId> =
-        final_spt.tree_edges(&h_graph).into_iter().map(|e| id_map[e]).collect();
+    let h_total = h_sim.total();
+    sim.charge(h_total);
+    let mut edges: Vec<EdgeId> = final_spt
+        .tree_edges(&h_graph)
+        .into_iter()
+        .map(|e| id_map[e])
+        .collect();
     edges.sort_unstable();
 
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    SltResult { root: rt, edges, breakpoints, stats }
+    SltResult {
+        root: rt,
+        edges,
+        breakpoints,
+        stats,
+    }
 }
 
 /// The inverse tradeoff (§4.4): lightness `1 + γ`, root stretch
@@ -232,7 +252,8 @@ pub fn light_slt(g: &Graph, rt: NodeId, gamma: f64, seed: u64) -> (Vec<EdgeId>, 
         } else {
             e.w * scale
         };
-        g2.add_edge(e.u, e.v, w.max(1)).expect("valid reweighted edge");
+        g2.add_edge(e.u, e.v, w.max(1))
+            .expect("valid reweighted edge");
     }
     let mut sim = Simulator::new(&g2);
     let (tau, _) = build_bfs_tree(&mut sim, rt);
@@ -337,8 +358,14 @@ mod tests {
         let (_s_big, l_big) = check_slt(&g, 0, 1.0, 5);
         let (_, l_small) = check_slt(&g, 0, 0.2, 5);
         let (s_big, _) = check_slt(&g, 0, 1.0, 5);
-        assert!(s_small <= s_big + 1e-9, "stretch should improve with smaller eps");
-        assert!(l_big <= l_small + 1e-9, "lightness should improve with larger eps");
+        assert!(
+            s_small <= s_big + 1e-9,
+            "stretch should improve with smaller eps"
+        );
+        assert!(
+            l_big <= l_small + 1e-9,
+            "lightness should improve with larger eps"
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! tokens travel on real graph edges; each directed tree edge carries
 //! exactly one interval's stream, so the bandwidth cap is respected.
 
-use congest::{Ctx, Message, Program, RunStats, Simulator, Word};
+use congest::{Ctx, Executor, Message, Program, RunStats, Word};
 use dist_mst::euler::DistEulerTour;
 use lightgraph::NodeId;
 use std::collections::HashMap;
@@ -48,7 +48,10 @@ impl TourRouting {
         for (j, &v) in seq.iter().enumerate() {
             positions[v].push(j);
         }
-        TourRouting { owner: seq, positions }
+        TourRouting {
+            owner: seq,
+            positions,
+        }
     }
 
     /// Number of tour positions (`2n − 1`).
@@ -62,7 +65,7 @@ impl TourRouting {
     }
 }
 
-type Step<'a> = Box<dyn FnMut(usize, Token) -> Token + 'a>;
+type Step<'a> = Box<dyn FnMut(usize, Token) -> Token + Send + 'a>;
 
 struct SweepProgram<'a> {
     /// For each owned position that forwards: the successor position
@@ -120,8 +123,8 @@ impl<'a> Program for SweepProgram<'a> {
 ///
 /// All intervals run in parallel; rounds ≈ max interval length.
 /// Returns per-vertex `(position, incoming token)` observations.
-pub fn tour_sweep<'a, F>(
-    sim: &mut Simulator<'_>,
+pub fn tour_sweep<F>(
+    sim: &mut impl Executor,
     routing: &TourRouting,
     direction: Direction,
     is_start: impl Fn(usize) -> bool,
@@ -129,11 +132,14 @@ pub fn tour_sweep<'a, F>(
     mut make_step: impl FnMut(NodeId) -> F,
 ) -> (Vec<Vec<(usize, Token)>>, RunStats)
 where
-    F: FnMut(usize, Token) -> Token + 'static,
+    F: FnMut(usize, Token) -> Token + Send + 'static,
 {
     let len = routing.len();
     if len == 0 {
-        return (vec![Vec::new(); routing.positions.len()], RunStats::default());
+        return (
+            vec![Vec::new(); routing.positions.len()],
+            RunStats::default(),
+        );
     }
     let last = len - 1;
     // origin(p): does position p emit at init?
@@ -147,9 +153,7 @@ where
     };
     let successor = |p: usize| -> Option<usize> {
         match direction {
-            Direction::LeftToRight => {
-                (p < last && !is_start(p + 1)).then(|| p + 1)
-            }
+            Direction::LeftToRight => (p < last && !is_start(p + 1)).then(|| p + 1),
             Direction::RightToLeft => {
                 // forward towards smaller positions; heads stop.
                 (!is_start(p) && p > 0).then(|| p - 1)
@@ -166,7 +170,12 @@ where
                 initial.push((p, init(p)));
             }
         }
-        SweepProgram { next, initial, step: Box::new(make_step(v)), received: Vec::new() }
+        SweepProgram {
+            next,
+            initial,
+            step: Box::new(make_step(v)),
+            received: Vec::new(),
+        }
     })
 }
 
@@ -174,6 +183,7 @@ where
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use dist_mst::{boruvka::distributed_mst, euler::distributed_euler_tour};
     use lightgraph::generators;
 

@@ -24,7 +24,7 @@
 use crate::passes::{self, FragView, Val};
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{pack2, unpack2, Ctx, Message, Program, RunStats, Simulator, Word};
+use congest::{pack2, unpack2, Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::{EdgeId, Graph, NodeId, Weight, INF};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -102,11 +102,11 @@ impl Program for Exchange {
     }
 }
 
-fn exchange_frag_ids(
-    sim: &mut Simulator<'_>,
-    frag: &[u64],
-) -> Vec<HashMap<NodeId, u64>> {
-    let (out, _) = sim.run(|v, _| Exchange { frag: frag[v], heard: HashMap::new() });
+fn exchange_frag_ids(sim: &mut impl Executor, frag: &[u64]) -> Vec<HashMap<NodeId, u64>> {
+    let (out, _) = sim.run(|v, _| Exchange {
+        frag: frag[v],
+        heard: HashMap::new(),
+    });
     out
 }
 
@@ -199,12 +199,7 @@ impl Program for Relabel {
 /// Per-vertex local minimum outgoing edge, as an up-pass value
 /// `[weight, pack2(edge, partner fragment), 0]` (`[INF, MAX, 0]` if
 /// none).
-fn local_mwoe(
-    g: &Graph,
-    v: NodeId,
-    frag: &[u64],
-    nbr: &HashMap<NodeId, u64>,
-) -> Val {
+fn local_mwoe(g: &Graph, v: NodeId, frag: &[u64], nbr: &HashMap<NodeId, u64>) -> Val {
     let mut best: Val = [INF, Word::MAX, 0];
     for &(u, w, e) in g.neighbors(v) {
         let uf = *nbr.get(&u).expect("neighbor id exchanged");
@@ -235,13 +230,13 @@ fn min_by_weight_edge(a: Val, b: Val) -> Val {
 ///
 /// # Panics
 /// Panics if the graph is disconnected.
-pub fn distributed_mst(
-    sim: &mut Simulator<'_>,
-    tau: &BfsTree,
-    rt: NodeId,
-    seed: u64,
-) -> MstResult {
-    let g = sim.graph();
+pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed: u64) -> MstResult {
+    // Owned copy: phase closures capture `g` across `&mut sim` runs,
+    // which the borrow checker cannot tie to the executor's inner
+    // graph lifetime through the `Executor` trait. O(n + m) once,
+    // negligible against the simulation itself.
+    let g_owned = sim.graph().clone();
+    let g = &g_owned;
     let n = g.n();
     let start_stats = sim.total();
     let diam_cap = (n as f64).sqrt().ceil() as u64;
@@ -273,21 +268,24 @@ pub fn distributed_mst(
             let (flood, _) = passes::flood_pass(sim, &views, |v| {
                 // only evaluated at fragment roots
                 let has_mwoe = mwoe[v][0] < INF;
-                let status = if !has_mwoe {
-                    STATUS_FROZEN
-                } else if est_ref[v] >= diam_cap {
+                let status = if !has_mwoe || est_ref[v] >= diam_cap {
                     STATUS_FROZEN
                 } else if splitmix64(phase_salt ^ frag_ref[v]) & 1 == 1 {
                     STATUS_HEAD
                 } else {
                     STATUS_TAIL
                 };
-                let edge_word =
-                    if has_mwoe { unpack2(mwoe[v][1]).0 } else { Word::MAX };
+                let edge_word = if has_mwoe {
+                    unpack2(mwoe[v][1]).0
+                } else {
+                    Word::MAX
+                };
                 [status, edge_word, est_ref[v]]
             });
-            let flood: Vec<Val> =
-                flood.into_iter().map(|o| o.expect("flood reaches all")).collect();
+            let flood: Vec<Val> = flood
+                .into_iter()
+                .map(|o| o.expect("flood reaches all"))
+                .collect();
             // (d) negotiate across MWOE edges.
             let (negotiated, _) = sim.run(|v, _| {
                 let [status, mwoe_edge, fest] = flood[v];
@@ -312,14 +310,19 @@ pub fn distributed_mst(
                 sim,
                 &views,
                 |v| {
-                    let b = negotiated[v].0.iter().map(|&(_, e)| e + 1).max().unwrap_or(0);
+                    let b = negotiated[v]
+                        .0
+                        .iter()
+                        .map(|&(_, e)| e + 1)
+                        .max()
+                        .unwrap_or(0);
                     [b, 0, 0]
                 },
                 |a, b| [a[0].max(b[0]), 0, 0],
             );
             // (f) relabel/re-root flood inside merged tails.
             let (relabels, _) = sim.run(|v, _| Relabel {
-                start: negotiated[v].1.map(|(nf, partner)| (nf, partner)),
+                start: negotiated[v].1,
                 tree_neighbors: views[v].tree_neighbors.clone(),
                 adopted: None,
             });
@@ -351,8 +354,8 @@ pub fn distributed_mst(
             let flood_ref = &flood;
             let (census, _) = collective::converge_sum(sim, tau, |v| {
                 if views_ref[v].parent.is_none() {
-                    let active = (flood_ref[v][0] != STATUS_FROZEN
-                        && flood_ref[v][1] != Word::MAX) as u64;
+                    let active =
+                        (flood_ref[v][0] != STATUS_FROZEN && flood_ref[v][1] != Word::MAX) as u64;
                     vec![(0, [1, active])]
                 } else {
                     Vec::new()
@@ -360,10 +363,7 @@ pub fn distributed_mst(
             });
             let _ = frag_ref;
             let [fragments, active] = census.get(&0).copied().unwrap_or([0, 0]);
-            if fragments <= target_frags as u64
-                || active == 0
-                || phase1_iterations >= max_phase1
-            {
+            if fragments <= target_frags as u64 || active == 0 || phase1_iterations >= max_phase1 {
                 break;
             }
         }
@@ -402,8 +402,7 @@ pub fn distributed_mst(
                 }
             },
         );
-        let items: Vec<collective::Item> =
-            map.iter().map(|(&k, &v)| (k, v)).collect();
+        let items: Vec<collective::Item> = map.iter().map(|(&k, &v)| (k, v)).collect();
         if items.is_empty() {
             break; // single fragment: MST complete
         }
@@ -482,6 +481,7 @@ pub fn distributed_mst(
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{generators, mst::kruskal};
 
     fn check_graph(g: &Graph, seed: u64) -> MstResult {
@@ -525,7 +525,11 @@ mod tests {
         let (tau, _) = build_bfs_tree(&mut sim, 0);
         let r = distributed_mst(&mut sim, &tau, 0, 9);
         let f = r.fragment_count();
-        assert_eq!(r.external_edges.len(), f - 1, "T' must be a tree on fragments");
+        assert_eq!(
+            r.external_edges.len(),
+            f - 1,
+            "T' must be a tree on fragments"
+        );
         // each fragment has exactly one leader (parent == None), and the
         // fragment id equals the leader's vertex id
         for v in 0..g.n() {

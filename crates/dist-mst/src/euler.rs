@@ -33,7 +33,7 @@ use crate::boruvka::MstResult;
 use crate::passes::{self, FragView, Val};
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{pack2, unpack2, RunStats, Simulator};
+use congest::{pack2, unpack2, Executor, RunStats};
 use lightgraph::{EdgeId, Graph, NodeId, Weight};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -87,12 +87,12 @@ struct FragTree {
 /// (the assembly itself is free local computation, identical at every
 /// vertex; the orchestrator performs it once on their behalf).
 fn broadcast_fragment_tree(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
+    g: &Graph,
     tau: &BfsTree,
     mst: &MstResult,
     rt: NodeId,
 ) -> FragTree {
-    let g = sim.graph();
     let frag = &mst.base_fragment_of;
     let external: HashSet<EdgeId> = mst.external_edges.iter().copied().collect();
     // Each endpoint of an external edge contributes (fragment, vertex),
@@ -115,13 +115,18 @@ fn broadcast_fragment_tree(
     let mut sides: HashMap<EdgeId, [(u64, NodeId); 2]> = HashMap::new();
     for (&key, &val) in &table {
         let (e, side) = unpack2(key);
-        let entry = sides.entry(e as EdgeId).or_insert([(u64::MAX, 0), (u64::MAX, 0)]);
+        let entry = sides
+            .entry(e as EdgeId)
+            .or_insert([(u64::MAX, 0), (u64::MAX, 0)]);
         entry[side as usize] = (val[0], val[1] as NodeId);
     }
     let mut edges: Vec<(EdgeId, (u64, NodeId), (u64, NodeId))> = sides
         .into_iter()
         .map(|(e, [a, b])| {
-            assert!(a.0 != u64::MAX && b.0 != u64::MAX, "external edge reported once");
+            assert!(
+                a.0 != u64::MAX && b.0 != u64::MAX,
+                "external edge reported once"
+            );
             (e, a, b)
         })
         .collect();
@@ -161,7 +166,7 @@ fn broadcast_fragment_tree(
 /// Steps 3–8 for one weight function; returns per-vertex visit "times"
 /// of all appearances, in traversal order.
 fn tour_times(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     views: &[FragView],
     ft: &FragTree,
@@ -169,8 +174,7 @@ fn tour_times(
     wf: &dyn Fn(NodeId, NodeId) -> Weight,
 ) -> Vec<Vec<Weight>> {
     let n = views.len();
-    let parent_weight =
-        |v: NodeId| -> Weight { views[v].parent.map(|p| wf(v, p)).unwrap_or(0) };
+    let parent_weight = |v: NodeId| -> Weight { views[v].parent.map(|p| wf(v, p)).unwrap_or(0) };
 
     // (3) local tour lengths ℓ(v): child sends ℓ(child) + 2·w(child, v).
     let (ell, _) = passes::up_pass_full(
@@ -308,8 +312,7 @@ fn tour_times(
     };
     let (shift_recv, _) = collective::broadcast(sim, tau, shift_items.clone());
     debug_assert!(shift_recv.iter().all(|r| r.len() == shift_items.len()));
-    let shifts: HashMap<u64, Weight> =
-        shift_items.into_iter().map(|(f, [v, _])| (f, v)).collect();
+    let shifts: HashMap<u64, Weight> = shift_items.into_iter().map(|(f, [v, _])| (f, v)).collect();
 
     // (8) local visit times: entry, then one appearance after each
     // child's subtree.
@@ -334,13 +337,16 @@ fn tour_times(
 /// `mst` must come from [`crate::boruvka::distributed_mst`] on the same
 /// graph; `tau` is the shared BFS tree.
 pub fn distributed_euler_tour(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     mst: &MstResult,
     rt: NodeId,
 ) -> DistEulerTour {
     let start = sim.total();
-    let g: &Graph = sim.graph();
+    // Owned copy: closures below capture `g` across `&mut sim` phases
+    // (see `distributed_mst`).
+    let g_owned = sim.graph().clone();
+    let g: &Graph = &g_owned;
     let n = g.n();
     if n == 0 {
         return DistEulerTour {
@@ -351,7 +357,7 @@ pub fn distributed_euler_tour(
     }
 
     // (1) broadcast T′.
-    let ft = broadcast_fragment_tree(sim, tau, mst, rt);
+    let ft = broadcast_fragment_tree(sim, g, tau, mst, rt);
     let frag = &mst.base_fragment_of;
 
     // (2) re-root base fragments at r_i.
@@ -384,7 +390,11 @@ pub fn distributed_euler_tour(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    DistEulerTour { appearances, total_length, stats }
+    DistEulerTour {
+        appearances,
+        total_length,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -392,6 +402,7 @@ mod tests {
     use super::*;
     use crate::boruvka::distributed_mst;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::tree::RootedTree;
     use lightgraph::{generators, Graph};
 

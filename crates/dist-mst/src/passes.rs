@@ -18,7 +18,7 @@
 //! prescribes ("locally in each fragment, i.e. in all the base fragments
 //! in parallel").
 
-use congest::{Ctx, Message, Program, RunStats, Simulator, Word};
+use congest::{Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::NodeId;
 
 /// A three-word payload travelling through a fragment pass.
@@ -103,13 +103,13 @@ impl<C: Fn(Val, Val) -> Val, T: Fn(Val) -> Val> Program for UpProgram<C, T> {
 /// and commutative. Returns each vertex's aggregate over its fragment
 /// subtree (fragment roots hold the fragment-wide aggregate).
 pub fn up_pass<C>(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     views: &[FragView],
     own: impl Fn(NodeId) -> Val,
     combine: C,
 ) -> (Vec<Val>, RunStats)
 where
-    C: Fn(Val, Val) -> Val + Clone,
+    C: Fn(Val, Val) -> Val + Clone + Send,
 {
     let (out, stats) = up_pass_full(sim, views, own, combine, |_| identity_transform());
     (out.into_iter().map(|(acc, _)| acc).collect(), stats)
@@ -124,15 +124,15 @@ fn identity_transform() -> impl Fn(Val) -> Val {
 /// length plus twice the parent edge weight", §3.2), and the result
 /// includes the individual values received from each child.
 pub fn up_pass_full<C, T>(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     views: &[FragView],
     own: impl Fn(NodeId) -> Val,
     combine: C,
     mut outgoing: impl FnMut(NodeId) -> T,
 ) -> (Vec<(Val, Vec<(NodeId, Val)>)>, RunStats)
 where
-    C: Fn(Val, Val) -> Val + Clone,
-    T: Fn(Val) -> Val,
+    C: Fn(Val, Val) -> Val + Clone + Send,
+    T: Fn(Val) -> Val + Send,
 {
     sim.run(|v, _| UpProgram {
         parent: views[v].parent,
@@ -211,13 +211,13 @@ impl<F: FnMut(NodeId, Val) -> ChildPayloads> Program for DownProgram<F> {
 /// Returns every value each vertex received, in arrival order; fragment
 /// roots see their own `root_val` first.
 pub fn down_pass<F>(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     views: &[FragView],
     root_val: impl Fn(NodeId) -> Val,
     mut make_derive: impl FnMut(NodeId) -> F,
 ) -> (Vec<Vec<Val>>, RunStats)
 where
-    F: FnMut(NodeId, Val) -> ChildPayloads,
+    F: FnMut(NodeId, Val) -> ChildPayloads + Send,
 {
     sim.run(|v, _| DownProgram {
         is_root: views[v].parent.is_none(),
@@ -231,7 +231,7 @@ where
 /// Broadcasts the fragment root's value to every vertex of the fragment
 /// (a [`down_pass`] that forwards verbatim).
 pub fn flood_pass(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     views: &[FragView],
     root_val: impl Fn(NodeId) -> Val,
 ) -> (Vec<Option<Val>>, RunStats) {
@@ -240,7 +240,12 @@ pub fn flood_pass(
         let ch = children[v].clone();
         move |_, val| ch.iter().map(|&c| (c, val)).collect()
     });
-    (out.into_iter().map(|vals| vals.into_iter().next()).collect(), stats)
+    (
+        out.into_iter()
+            .map(|vals| vals.into_iter().next())
+            .collect(),
+        stats,
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -298,7 +303,7 @@ impl Program for RerootProgram {
 /// would keep `None` parents *and* miss the flood — detected by the
 /// returned orientation check in debug builds).
 pub fn reroot(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     views: &[FragView],
     is_new_root: impl Fn(NodeId) -> bool,
 ) -> (Vec<FragView>, RunStats) {
@@ -311,7 +316,10 @@ pub fn reroot(
     let new_views = views
         .iter()
         .zip(parents)
-        .map(|(view, parent)| FragView { parent, tree_neighbors: view.tree_neighbors.clone() })
+        .map(|(view, parent)| FragView {
+            parent,
+            tree_neighbors: view.tree_neighbors.clone(),
+        })
         .collect();
     (new_views, stats)
 }
@@ -319,6 +327,7 @@ pub fn reroot(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest::Simulator;
     use lightgraph::generators;
     use lightgraph::mst::kruskal;
     use lightgraph::tree::RootedTree;
@@ -333,7 +342,10 @@ mod tests {
                 if let Some((p, _, _)) = t.parent(v) {
                     tn.push(p);
                 }
-                FragView { parent: t.parent(v).map(|(p, _, _)| p), tree_neighbors: tn }
+                FragView {
+                    parent: t.parent(v).map(|(p, _, _)| p),
+                    tree_neighbors: tn,
+                }
             })
             .collect();
         (t, views)
@@ -344,12 +356,7 @@ mod tests {
         let g = generators::erdos_renyi(40, 0.1, 20, 1);
         let (t, views) = mst_views(&g, 0);
         let mut sim = Simulator::new(&g);
-        let (vals, stats) = up_pass(
-            &mut sim,
-            &views,
-            |_| [1, 0, 0],
-            |a, b| [a[0] + b[0], 0, 0],
-        );
+        let (vals, stats) = up_pass(&mut sim, &views, |_| [1, 0, 0], |a, b| [a[0] + b[0], 0, 0]);
         // root's aggregate = n
         assert_eq!(vals[0][0], 40);
         // every vertex's aggregate = its subtree size
@@ -438,7 +445,10 @@ mod tests {
             if v < 3 {
                 tn.push(v + 1);
             }
-            views[v] = FragView { parent: (v > 0).then(|| v - 1), tree_neighbors: tn };
+            views[v] = FragView {
+                parent: (v > 0).then(|| v - 1),
+                tree_neighbors: tn,
+            };
         }
         for v in 4..8usize {
             let mut tn = Vec::new();
@@ -448,7 +458,10 @@ mod tests {
             if v < 7 {
                 tn.push(v + 1);
             }
-            views[v] = FragView { parent: (v < 7).then(|| v + 1), tree_neighbors: tn };
+            views[v] = FragView {
+                parent: (v < 7).then(|| v + 1),
+                tree_neighbors: tn,
+            };
         }
         let mut sim = Simulator::new(&g);
         let (vals, _) = up_pass(&mut sim, &views, |_| [1, 0, 0], |a, b| [a[0] + b[0], 0, 0]);

@@ -6,7 +6,7 @@
 //! §7. Congestion from overlapping sources is charged automatically by
 //! the simulator's per-edge queues.
 
-use congest::{Ctx, Message, Program, RunStats, Simulator};
+use congest::{Ctx, Executor, Message, Program, RunStats};
 use lightgraph::{NodeId, Weight, INF};
 use std::collections::HashMap;
 
@@ -81,14 +81,14 @@ impl Program for BellmanFord {
 /// Runs until quiescence: the number of rounds is the weighted
 /// shortest-path hop depth, which the paper's substitutes avoid — see
 /// [`crate::landmark`] for the `Õ(√n + D)`-round version.
-pub fn bellman_ford(sim: &mut Simulator<'_>, src: NodeId) -> SsspResult {
+pub fn bellman_ford(sim: &mut impl Executor, src: NodeId) -> SsspResult {
     bounded_bellman_ford(sim, src, INF, u64::MAX)
 }
 
 /// Single-source Bellman–Ford restricted to distance ≤ `bound` and at
 /// most `hop_bound` relaxation rounds.
 pub fn bounded_bellman_ford(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     src: NodeId,
     bound: Weight,
     hop_bound: u64,
@@ -102,7 +102,11 @@ pub fn bounded_bellman_ford(
         hop_bound,
     });
     let (dist, parent) = out.into_iter().unzip();
-    SsspResult { dist, parent, stats }
+    SsspResult {
+        dist,
+        parent,
+        stats,
+    }
 }
 
 /// Result of a multi-source run: per-vertex tables keyed by source.
@@ -210,7 +214,7 @@ impl Program for MultiBellmanFord {
 /// All sources explore in parallel; the per-edge bandwidth cap charges
 /// the congestion of overlapping explorations honestly.
 pub fn multi_source_bounded(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     sources: &[NodeId],
     bound: Weight,
     hop_bound: u64,
@@ -229,6 +233,7 @@ pub fn multi_source_bounded(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest::Simulator;
     use lightgraph::{dijkstra, generators};
 
     #[test]
@@ -303,7 +308,11 @@ mod tests {
         let r = multi_source_bounded(&mut sim, &[0, 9], 12, u64::MAX);
         assert_eq!(r.dist(0, 2), Some(10));
         assert_eq!(r.dist(0, 3), None, "15 > bound");
-        assert_eq!(r.nearest(4), None, "vertex 4 is beyond the bound from both sources");
+        assert_eq!(
+            r.nearest(4),
+            None,
+            "vertex 4 is beyond the bound from both sources"
+        );
         assert_eq!(r.nearest(1), Some((0, 5)));
     }
 

@@ -25,7 +25,7 @@
 use crate::bellman::multi_source_bounded;
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{pack2, RunStats, Simulator};
+use congest::{pack2, Executor, RunStats};
 use lightgraph::{NodeId, Weight, INF};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -50,7 +50,12 @@ pub struct SptConfig {
 impl SptConfig {
     /// Default configuration with the given seed.
     pub fn new(seed: u64) -> Self {
-        SptConfig { seed, epsilon: 0.0, landmarks: None, hop_bound: None }
+        SptConfig {
+            seed,
+            epsilon: 0.0,
+            landmarks: None,
+            hop_bound: None,
+        }
     }
 }
 
@@ -87,7 +92,10 @@ impl ApproxSpt {
         (0..self.dist.len())
             .filter_map(|v| {
                 let p = self.parent[v]?;
-                g.neighbors(v).iter().find(|&&(u, _, _)| u == p).map(|&(_, _, e)| e)
+                g.neighbors(v)
+                    .iter()
+                    .find(|&&(u, _, _)| u == p)
+                    .map(|&(_, _, e)| e)
             })
             .collect()
     }
@@ -107,14 +115,13 @@ fn quantize(d: Weight, epsilon: f64) -> Weight {
 /// simulator; with the default parameters this is `Õ(√n + D)` on the
 /// instance families we evaluate.
 pub fn approx_spt(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     rt: NodeId,
     cfg: &SptConfig,
 ) -> ApproxSpt {
     let start = sim.total();
-    let g = sim.graph();
-    let n = g.n();
+    let n = sim.graph().n();
     let sqrt_n = (n as f64).sqrt().ceil() as usize;
     let k = cfg
         .landmarks
@@ -137,8 +144,7 @@ pub fn approx_spt(
 
     // (3) landmark graph to the root: gather (s, s') bounded distances,
     // solve locally at rt, broadcast (s, d*(rt,s), pred(s)).
-    let idx: HashMap<NodeId, usize> =
-        sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let idx: HashMap<NodeId, usize> = sources.iter().enumerate().map(|(i, &s)| (s, i)).collect();
     let (pairs, _) = collective::gather(sim, tau, |v| {
         if let Some(&vi) = idx.get(&v) {
             ms.tables[v]
@@ -183,19 +189,22 @@ pub fn approx_spt(
         .map(|i| {
             (
                 sources[i] as u64,
-                [ldist[i], lpred[i].map(|p| sources[p] as u64).unwrap_or(u64::MAX)],
+                [
+                    ldist[i],
+                    lpred[i].map(|p| sources[p] as u64).unwrap_or(u64::MAX),
+                ],
             )
         })
         .collect();
     let (recv, _) = collective::broadcast(sim, tau, bcast);
     debug_assert!(recv.iter().all(|r| !r.is_empty()));
+    let g = sim.graph();
 
     // (4) local combination: every vertex picks its best estimate and
     // the corresponding Bellman–Ford parent. Landmarks themselves use
     // the predecessor landmark's exploration for their parent, which
     // keeps the parent pointers globally consistent.
-    let ldist_of: HashMap<NodeId, Weight> =
-        (0..s_count).map(|i| (sources[i], ldist[i])).collect();
+    let ldist_of: HashMap<NodeId, Weight> = (0..s_count).map(|i| (sources[i], ldist[i])).collect();
     let lpred_of: HashMap<NodeId, Option<usize>> =
         (0..s_count).map(|i| (sources[i], lpred[i])).collect();
 
@@ -222,11 +231,10 @@ pub fn approx_spt(
             }
         }
         // Landmarks: route through the predecessor landmark.
-        if let Some(&pl) = lpred_of.get(&v).map(|o| o.as_ref()).flatten() {
+        if let Some(&pl) = lpred_of.get(&v).and_then(|o| o.as_ref()) {
             let s = sources[pl];
-            let via = ldist_of[&s].saturating_add(
-                ms.tables[v].get(&s).map(|&(d, _)| d).unwrap_or(INF),
-            );
+            let via =
+                ldist_of[&s].saturating_add(ms.tables[v].get(&s).map(|&(d, _)| d).unwrap_or(INF));
             if (via, s) < best {
                 best = (via, s);
             }
@@ -283,13 +291,19 @@ pub fn approx_spt(
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
-    ApproxSpt { root: rt, dist, parent, stats }
+    ApproxSpt {
+        root: rt,
+        dist,
+        parent,
+        stats,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{dijkstra, generators, Graph};
 
     fn tree_path_weight(g: &Graph, spt: &ApproxSpt, v: NodeId) -> Weight {
@@ -308,11 +322,17 @@ mod tests {
     fn check(g: &Graph, rt: NodeId, seed: u64, eps: f64) {
         let mut sim = Simulator::new(g);
         let (tau, _) = build_bfs_tree(&mut sim, rt);
-        let cfg = SptConfig { epsilon: eps, ..SptConfig::new(seed) };
+        let cfg = SptConfig {
+            epsilon: eps,
+            ..SptConfig::new(seed)
+        };
         let spt = approx_spt(&mut sim, &tau, rt, &cfg);
         let oracle = dijkstra::shortest_paths(g, rt);
         for v in 0..g.n() {
-            assert!(spt.dist[v] >= oracle.dist[v], "estimate below true distance at {v}");
+            assert!(
+                spt.dist[v] >= oracle.dist[v],
+                "estimate below true distance at {v}"
+            );
             let slack = (1.0 + eps) * 1.0001;
             assert!(
                 (spt.dist[v] as f64) <= (oracle.dist[v] as f64) * slack + 1.0,
@@ -363,12 +383,20 @@ mod tests {
         let g = generators::path(40, 3);
         let mut sim = Simulator::new(&g);
         let (tau, _) = build_bfs_tree(&mut sim, 0);
-        let cfg = SptConfig { landmarks: Some(0), hop_bound: Some(5), ..SptConfig::new(1) };
+        let cfg = SptConfig {
+            landmarks: Some(0),
+            hop_bound: Some(5),
+            ..SptConfig::new(1)
+        };
         let spt = approx_spt(&mut sim, &tau, 0, &cfg);
         let oracle = dijkstra::shortest_paths(&g, 0);
         for v in 0..g.n() {
             assert!(spt.dist[v] >= oracle.dist[v]);
-            let pw = if v == 0 { 0 } else { tree_path_weight(&g, &spt, v) };
+            let pw = if v == 0 {
+                0
+            } else {
+                tree_path_weight(&g, &spt, v)
+            };
             assert!(pw < INF);
         }
     }

@@ -24,7 +24,7 @@
 
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{Ctx, Message, Program, RunStats, Simulator};
+use congest::{Ctx, Executor, Message, Program, RunStats};
 use lightgraph::{NodeId, Weight};
 use std::collections::HashMap;
 
@@ -104,7 +104,8 @@ impl LeProgram {
         }
         // Drop entries the newcomer dominates: same vertex at a larger
         // distance, or smaller rank at most as far.
-        self.list.retain(|&(rk2, u2, d2)| !(u2 == u || (rk < rk2 && d <= d2)));
+        self.list
+            .retain(|&(rk2, u2, d2)| !(u2 == u || (rk < rk2 && d <= d2)));
         self.list.push(e);
         true
     }
@@ -126,7 +127,11 @@ impl Program for LeProgram {
         for (from, msg) in inbox {
             debug_assert_eq!(msg.word(0), TAG_LE);
             let w = *self.weights.get(from).expect("sender is a neighbor");
-            let e = (msg.word(1), msg.word(2) as NodeId, msg.word(3).saturating_add(w));
+            let e = (
+                msg.word(1),
+                msg.word(2) as NodeId,
+                msg.word(3).saturating_add(w),
+            );
             if self.offer(e) {
                 fresh.push(e);
             }
@@ -150,7 +155,7 @@ impl Program for LeProgram {
 /// factor in `[1, 1+delta]`, realizing the auxiliary graph `H` of
 /// [FL16] with `d_G ≤ d_H ≤ (1+δ)·d_G`.
 pub fn le_lists(
-    sim: &mut Simulator<'_>,
+    sim: &mut impl Executor,
     tau: &BfsTree,
     active: &[bool],
     bound: Weight,
@@ -209,6 +214,7 @@ pub fn le_lists(
 mod tests {
     use super::*;
     use congest::tree::build_bfs_tree;
+    use congest::Simulator;
     use lightgraph::{dijkstra, generators, INF};
 
     /// Sequential oracle: brute-force LE lists from all-pairs distances.
@@ -226,9 +232,8 @@ mod tests {
                     if !active[u] || ap[v][u] > bound || ap[v][u] >= INF {
                         continue;
                     }
-                    let dominated = (0..g.n()).any(|w| {
-                        active[w] && ap[v][w] <= ap[v][u] && rank[w] < rank[u]
-                    });
+                    let dominated =
+                        (0..g.n()).any(|w| active[w] && ap[v][w] <= ap[v][u] && rank[w] < rank[u]);
                     if !dominated {
                         entries.push((u, ap[v][u]));
                     }

@@ -1,0 +1,388 @@
+//! Minimal TOML-subset parser for scenario configs.
+//!
+//! crates.io is unreachable in the build environment, so instead of the
+//! `toml` crate the scenario runner parses the subset it needs:
+//! top-level `key = value` pairs, `[table]` sections, `[[array]]`
+//! array-of-tables sections, comments, and scalar/array values
+//! (integers, floats, booleans, `"strings"`, `[a, b, c]`). That covers
+//! every scenario file in `crates/engine/scenarios/`; anything fancier
+//! (dotted keys, inline tables, multiline strings) is rejected with a
+//! line-numbered error rather than misparsed.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed scalar or array value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// Double-quoted string.
+    Str(String),
+    /// Homogeneous or heterogeneous array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Integer view (floats with zero fraction coerce).
+    pub fn as_int(&self) -> Option<i64> {
+        match *self {
+            Value::Int(x) => Some(x),
+            Value::Float(f) if f.fract() == 0.0 => Some(f as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(x) => Some(x as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+}
+
+/// A flat `key → value` table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Table {
+    entries: BTreeMap<String, Value>,
+}
+
+impl Table {
+    /// Raw value lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.get(key)
+    }
+
+    /// Integer with default.
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.get(key).and_then(Value::as_int).unwrap_or(default)
+    }
+
+    /// Float with default.
+    pub fn f64_or(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(Value::as_f64).unwrap_or(default)
+    }
+
+    /// Bool with default.
+    pub fn bool_or(&self, key: &str, default: bool) -> bool {
+        self.get(key).and_then(Value::as_bool).unwrap_or(default)
+    }
+
+    /// String with default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).and_then(Value::as_str).unwrap_or(default)
+    }
+
+    /// Integer array (empty if absent).
+    pub fn ints(&self, key: &str) -> Vec<i64> {
+        self.get(key)
+            .and_then(Value::as_array)
+            .map(|xs| xs.iter().filter_map(Value::as_int).collect())
+            .unwrap_or_default()
+    }
+
+    /// String array (empty if absent).
+    pub fn strs(&self, key: &str) -> Vec<String> {
+        self.get(key)
+            .and_then(Value::as_array)
+            .map(|xs| {
+                xs.iter()
+                    .filter_map(|v| v.as_str().map(str::to_owned))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// A parsed document: root table, named tables, and arrays of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Keys above the first section header.
+    pub root: Table,
+    /// `[name]` sections.
+    pub tables: BTreeMap<String, Table>,
+    /// `[[name]]` sections, in file order.
+    pub table_arrays: BTreeMap<String, Vec<Table>>,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config parse error at line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a TOML-subset document.
+///
+/// # Errors
+/// Returns a line-numbered [`ParseError`] on any construct outside the
+/// supported subset.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::default();
+    // (None, None) = root; (Some(name), idx) = table or array element.
+    enum Target {
+        Root,
+        Table(String),
+        ArrayElem(String),
+    }
+    let mut target = Target::Root;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|r| r.strip_suffix("]]")) {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty [[section]] name"));
+            }
+            doc.table_arrays
+                .entry(name.to_owned())
+                .or_default()
+                .push(Table::default());
+            target = Target::ArrayElem(name.to_owned());
+        } else if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+            let name = name.trim();
+            if name.is_empty() {
+                return Err(err(lineno, "empty [section] name"));
+            }
+            doc.tables.entry(name.to_owned()).or_default();
+            target = Target::Table(name.to_owned());
+        } else if let Some((key, value)) = line.split_once('=') {
+            let key = key.trim();
+            if key.is_empty() || key.contains(['[', ']', '"', '.']) {
+                return Err(err(lineno, format!("unsupported key `{key}`")));
+            }
+            let value = parse_value(value.trim(), lineno)?;
+            let table = match &target {
+                Target::Root => &mut doc.root,
+                Target::Table(name) => doc.tables.get_mut(name).expect("created above"),
+                Target::ArrayElem(name) => doc
+                    .table_arrays
+                    .get_mut(name)
+                    .and_then(|v| v.last_mut())
+                    .expect("created above"),
+            };
+            table.entries.insert(key.to_owned(), value);
+        } else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value` or a section header, got `{line}`"),
+            ));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a trailing comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, ParseError> {
+    if text.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| err(lineno, "unterminated array (must close on the same line)"))?;
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let v = parse_value(part, lineno)?;
+            if matches!(v, Value::Array(_)) {
+                return Err(err(lineno, "nested arrays are not supported"));
+            }
+            items.push(v);
+        }
+        return Ok(Value::Array(items));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let inner = inner
+            .strip_suffix('"')
+            .ok_or_else(|| err(lineno, "unterminated string"))?;
+        if inner.contains('"') {
+            return Err(err(lineno, "embedded quotes are not supported"));
+        }
+        return Ok(Value::Str(inner.to_owned()));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let normalized = text.replace('_', "");
+    if let Ok(x) = normalized.parse::<i64>() {
+        return Ok(Value::Int(x));
+    }
+    if let Ok(f) = normalized.parse::<f64>() {
+        return Ok(Value::Float(f));
+    }
+    Err(err(lineno, format!("unsupported value `{text}`")))
+}
+
+/// Splits an array body on commas (strings in this subset cannot
+/// contain commas-in-quotes beyond what `strip_comment` handled, but be
+/// conservative anyway).
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# global settings
+seed = 42
+threads = 0          # 0 = auto
+label = "smoke"
+verbose = true
+ratio = 0.75
+
+[limits]
+max_rounds = 1_000_000
+
+[[run]]
+family = "erdos-renyi"
+sizes = [100, 1000]
+algorithms = ["bfs", "mst"]
+
+[[run]]
+family = "grid"
+sizes = [400]
+eps = 0.5
+"#;
+
+    #[test]
+    fn parses_the_scenario_shape() {
+        let doc = parse(SAMPLE).unwrap();
+        assert_eq!(doc.root.int_or("seed", 0), 42);
+        assert_eq!(doc.root.int_or("threads", 9), 0);
+        assert_eq!(doc.root.str_or("label", ""), "smoke");
+        assert!(doc.root.bool_or("verbose", false));
+        assert_eq!(doc.root.f64_or("ratio", 0.0), 0.75);
+        assert_eq!(doc.tables["limits"].int_or("max_rounds", 0), 1_000_000);
+        let runs = &doc.table_arrays["run"];
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].str_or("family", ""), "erdos-renyi");
+        assert_eq!(runs[0].ints("sizes"), vec![100, 1000]);
+        assert_eq!(runs[0].strs("algorithms"), vec!["bfs", "mst"]);
+        assert_eq!(runs[1].f64_or("eps", 0.0), 0.5);
+        assert!(runs[1].strs("algorithms").is_empty());
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let doc = parse("x = 1").unwrap();
+        assert_eq!(doc.root.int_or("y", 7), 7);
+        assert_eq!(doc.root.str_or("name", "fallback"), "fallback");
+        assert!(doc.root.ints("zs").is_empty());
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse(r##"tag = "a # b""##).unwrap();
+        assert_eq!(doc.root.str_or("tag", ""), "a # b");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse("ok = 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("x = [1, 2").unwrap_err();
+        assert!(e.message.contains("unterminated array"));
+        let e = parse("x = @nope").unwrap_err();
+        assert!(e.message.contains("unsupported value"));
+    }
+
+    #[test]
+    fn float_and_int_coercions() {
+        let doc = parse("a = 3.0\nb = 4").unwrap();
+        assert_eq!(doc.root.get("a").unwrap().as_int(), Some(3));
+        assert_eq!(doc.root.get("b").unwrap().as_f64(), Some(4.0));
+        assert_eq!(
+            parse("c = 3.5").unwrap().root.get("c").unwrap().as_int(),
+            None
+        );
+    }
+}

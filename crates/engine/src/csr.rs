@@ -1,0 +1,174 @@
+//! CSR indexing of the directed-edge space.
+//!
+//! The engine addresses every *directed* edge with a dense id
+//! `2 * edge_id + dir` (`dir` 0 = `u → v`, 1 = `v → u`), the same
+//! numbering the sequential simulator uses for its queue array. Two
+//! compressed views are precomputed per graph:
+//!
+//! * **out** — for each node, `(neighbor, directed id)` pairs sorted by
+//!   neighbor, keeping the smallest edge id per neighbor. This mirrors
+//!   `Simulator`'s `edge_of` map (`entry(..).or_insert(..)` keeps the
+//!   first edge), so sends on graphs with parallel edges route
+//!   identically on both engines.
+//! * **in** — for each node, its incoming directed ids in ascending
+//!   order. Ascending directed id order *is* the sequential delivery
+//!   order (edge id ascending, direction `u→v` before `v→u`), so a
+//!   round's inbox assembled by walking this list is bit-identical to
+//!   the simulator's.
+
+use lightgraph::{Graph, NodeId};
+
+/// Dense id of a directed edge: `2 * edge_id + dir`.
+pub type DirectedId = usize;
+
+/// Precomputed directed-edge indexing for one graph.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Flattened per-node `(neighbor, directed out id)` pairs, sorted by
+    /// neighbor id within each node.
+    out_pairs: Vec<(NodeId, DirectedId)>,
+    /// Node offsets into `out_pairs` (`n + 1` entries).
+    out_offsets: Vec<usize>,
+    /// Flattened per-node incoming directed ids, ascending within each
+    /// node.
+    in_ids: Vec<DirectedId>,
+    /// Node offsets into `in_ids` (`n + 1` entries).
+    in_offsets: Vec<usize>,
+}
+
+impl Csr {
+    /// Builds the indexing in `O(n + m log(max degree))`.
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.n();
+        let mut out_pairs: Vec<Vec<(NodeId, DirectedId)>> = vec![Vec::new(); n];
+        let mut in_counts = vec![0usize; n];
+        for (id, e) in graph.edges().iter().enumerate() {
+            out_pairs[e.u].push((e.v, 2 * id));
+            out_pairs[e.v].push((e.u, 2 * id + 1));
+            in_counts[e.v] += 1;
+            in_counts[e.u] += 1;
+        }
+        let mut flat_out = Vec::with_capacity(2 * graph.m());
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0);
+        for pairs in &mut out_pairs {
+            // Sort by (neighbor, directed id): with parallel edges the
+            // smallest edge id per neighbor comes first, which is the
+            // one binary search will find and use — matching the
+            // simulator's first-edge routing.
+            pairs.sort_unstable();
+            flat_out.extend_from_slice(pairs);
+            out_offsets.push(flat_out.len());
+        }
+
+        let mut in_offsets = Vec::with_capacity(n + 1);
+        in_offsets.push(0);
+        let mut acc = 0;
+        for v in 0..n {
+            acc += in_counts[v];
+            in_offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = in_offsets[..n].to_vec();
+        let mut in_ids = vec![0; 2 * graph.m()];
+        // Edge-id ascending iteration fills each node's incoming list in
+        // ascending directed id order (2*id targets e.v before 2*id+1
+        // targets e.u, and ids grow monotonically).
+        for (id, e) in graph.edges().iter().enumerate() {
+            in_ids[cursor[e.v]] = 2 * id;
+            cursor[e.v] += 1;
+            in_ids[cursor[e.u]] = 2 * id + 1;
+            cursor[e.u] += 1;
+        }
+
+        Csr {
+            out_pairs: flat_out,
+            out_offsets,
+            in_ids,
+            in_offsets,
+        }
+    }
+
+    /// Total number of directed edges (`2m`).
+    pub fn directed_len(&self) -> usize {
+        self.in_ids.len()
+    }
+
+    /// `(neighbor, directed id)` pairs for sends from `v`, sorted by
+    /// neighbor.
+    pub fn out(&self, v: NodeId) -> &[(NodeId, DirectedId)] {
+        &self.out_pairs[self.out_offsets[v]..self.out_offsets[v + 1]]
+    }
+
+    /// The directed id used for sends `from → to` (the smallest-id edge
+    /// between them, like the simulator).
+    ///
+    /// # Panics
+    /// Panics if no edge connects `from` and `to`.
+    pub fn out_id(&self, from: NodeId, to: NodeId) -> DirectedId {
+        let pairs = self.out(from);
+        let i = pairs.partition_point(|&(nbr, _)| nbr < to);
+        match pairs.get(i) {
+            Some(&(nbr, d)) if nbr == to => d,
+            _ => panic!("no edge between {from} and {to}"),
+        }
+    }
+
+    /// Incoming directed ids of `v`, in delivery order.
+    pub fn incoming(&self, v: NodeId) -> &[DirectedId] {
+        &self.in_ids[self.in_offsets[v]..self.in_offsets[v + 1]]
+    }
+
+    /// The sender of a directed edge, given the graph.
+    pub fn sender(graph: &Graph, d: DirectedId) -> NodeId {
+        let e = graph.edge(d / 2);
+        if d.is_multiple_of(2) {
+            e.u
+        } else {
+            e.v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_and_in_views_agree_with_the_graph() {
+        let g = Graph::from_edges(4, [(0, 1, 1), (1, 2, 2), (0, 2, 3), (2, 3, 1)]).unwrap();
+        let csr = Csr::new(&g);
+        assert_eq!(csr.directed_len(), 8);
+        // node 2's incoming: edge1 dir0 (1->2) = 2, edge2 dir0 (0->2) = 4,
+        // edge3 dir1 (3->2) = 7
+        assert_eq!(csr.incoming(2), &[2, 4, 7]);
+        // node 0 sends to 1 via directed 0 (edge0 u-side), to 2 via 4
+        assert_eq!(csr.out_id(0, 1), 0);
+        assert_eq!(csr.out_id(0, 2), 4);
+        // node 2 sends to 0 via directed 5 (edge2 v-side)
+        assert_eq!(csr.out_id(2, 0), 5);
+        for d in 0..8 {
+            let s = Csr::sender(&g, d);
+            let e = g.edge(d / 2);
+            assert_eq!(s, if d % 2 == 0 { e.u } else { e.v });
+        }
+    }
+
+    #[test]
+    fn parallel_edges_route_via_smallest_edge_id() {
+        let mut g = Graph::new(2);
+        let e0 = g.add_edge(0, 1, 5).unwrap();
+        let _e1 = g.add_edge(0, 1, 1).unwrap();
+        let csr = Csr::new(&g);
+        assert_eq!(csr.out_id(0, 1), 2 * e0);
+        assert_eq!(csr.out_id(1, 0), 2 * e0 + 1);
+        // both parallel edges still deliver
+        assert_eq!(csr.incoming(1), &[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge between")]
+    fn missing_edge_panics() {
+        let g = Graph::from_edges(3, [(0, 1, 1)]).unwrap();
+        Csr::new(&g).out_id(0, 2);
+    }
+}

@@ -1,0 +1,750 @@
+//! The parallel deterministic engine.
+//!
+//! # Execution model
+//!
+//! Nodes are split into `threads` contiguous shards. Every round runs
+//! two phases separated by barriers:
+//!
+//! * **deliver** — each worker pops up to `cap` messages from every
+//!   incoming directed-edge queue of its *own* nodes into a
+//!   worker-local inbox arena. A directed edge has exactly one
+//!   receiver, so queue access is disjoint across workers.
+//! * **compute** — each worker runs `Program::round` for its own nodes
+//!   and pushes staged sends onto the outgoing directed-edge queues of
+//!   its nodes. A directed edge has exactly one sender, so access is
+//!   again disjoint.
+//!
+//! # Why this is deterministic
+//!
+//! The sequential simulator's only ordering guarantees are (a) per
+//! directed edge FIFO and (b) inboxes ordered by directed edge id.
+//! Both survive parallelization for free: every directed-edge queue has
+//! a *unique* sender (so FIFO order equals that sender's staged order,
+//! regardless of node interleaving), and each worker assembles its
+//! nodes' inboxes by walking incoming edges in ascending directed id
+//! order — the sequential delivery order. No message ever races: the
+//! deliver and compute phases are barrier-separated, and within a phase
+//! every queue is touched by exactly one worker. The result is
+//! bit-identical outputs and [`RunStats`] versus
+//! [`congest::Simulator`], verified by property tests.
+
+use crate::csr::Csr;
+use crate::report::EngineReport;
+use congest::{Ctx, Executor, Message, Program, RunStats, Word, WORDS_PER_MESSAGE};
+use lightgraph::{Graph, NodeId};
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// A message stored inline in an edge queue (no per-message heap
+/// allocation while queued; the `Message` is materialized at delivery).
+#[derive(Debug, Clone, Copy)]
+struct InlineMsg {
+    len: u8,
+    words: [Word; WORDS_PER_MESSAGE],
+}
+
+impl InlineMsg {
+    fn pack(msg: &Message) -> Self {
+        let src = msg.as_words();
+        let mut words = [0; WORDS_PER_MESSAGE];
+        words[..src.len()].copy_from_slice(src);
+        InlineMsg {
+            len: src.len() as u8,
+            words,
+        }
+    }
+
+    fn unpack(&self) -> Message {
+        Message::words(&self.words[..self.len as usize])
+    }
+}
+
+/// A slice shared across workers with externally-guaranteed disjoint
+/// index access.
+///
+/// # Safety invariant
+/// Callers of [`SharedSlice::get_mut`] must guarantee that no index is
+/// accessed by two workers within the same barrier-delimited phase.
+/// The engine upholds this structurally: program and inbox indices are
+/// sharded by node, and directed-edge queues are owned by their unique
+/// receiver during deliver phases and their unique sender during
+/// compute phases.
+struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<'a, T: Send> Send for SharedSlice<'a, T> {}
+unsafe impl<'a, T: Send> Sync for SharedSlice<'a, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `i < len`, and no concurrent access to index `i` (see the type
+    /// docs).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+/// Contiguous node ranges, one per worker.
+fn shard_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
+    (0..threads)
+        .map(|t| (n * t / threads, n * (t + 1) / threads))
+        .collect()
+}
+
+/// Worker-wide control decision taken (identically) by every worker at
+/// the top of each round.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Continue,
+    Quiescent,
+    Livelocked,
+    Aborted,
+}
+
+/// The parallel deterministic CONGEST engine.
+///
+/// Drop-in [`Executor`] replacement for [`congest::Simulator`]: same
+/// [`Program`] interface, bit-identical outputs and [`RunStats`], but
+/// rounds execute over node shards on worker threads and messages move
+/// through CSR-indexed flat queue arrays instead of per-edge hash-map
+/// lookups. See the module docs for the phase/barrier structure.
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    csr: Csr,
+    senders: Vec<NodeId>,
+    cap: usize,
+    max_rounds: u64,
+    threads: usize,
+    record_metrics: bool,
+    total: RunStats,
+    last_report: Option<EngineReport>,
+}
+
+impl<'g> std::fmt::Debug for Engine<'g> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("n", &self.graph.n())
+            .field("m", &self.graph.m())
+            .field("cap", &self.cap)
+            .field("threads", &self.threads)
+            .field("total", &self.total)
+            .finish()
+    }
+}
+
+impl<'g> Engine<'g> {
+    /// Creates an engine over `graph` with bandwidth cap 1 and as many
+    /// worker threads as the machine reports.
+    pub fn new(graph: &'g Graph) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Engine::with_threads(graph, threads)
+    }
+
+    /// Creates an engine with an explicit worker-thread count
+    /// (`threads >= 1`; clamped to the node count at run time).
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`.
+    pub fn with_threads(graph: &'g Graph, threads: usize) -> Self {
+        assert!(threads >= 1, "engine needs at least one worker thread");
+        let csr = Csr::new(graph);
+        let senders = (0..csr.directed_len())
+            .map(|d| Csr::sender(graph, d))
+            .collect();
+        Engine {
+            graph,
+            csr,
+            senders,
+            cap: 1,
+            max_rounds: 50_000_000,
+            threads,
+            record_metrics: false,
+            total: RunStats::default(),
+            last_report: None,
+        }
+    }
+
+    /// Worker threads used per run.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables or disables congestion instrumentation (per-round
+    /// message histogram, queue depths, hot edges). Off by default:
+    /// recording costs an `O(m)` scan per round.
+    pub fn set_record_metrics(&mut self, record: bool) {
+        self.record_metrics = record;
+    }
+
+    /// Instrumentation from the most recent run, if
+    /// [`Engine::set_record_metrics`] was enabled.
+    pub fn last_report(&self) -> Option<&EngineReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The underlying graph (with the graph's own lifetime).
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// Runs one program per node until global quiescence. Same contract
+    /// and same observable behavior as [`congest::Simulator::run`]; see
+    /// the module docs.
+    ///
+    /// # Panics
+    /// Panics if the run exceeds the `max_rounds` livelock guard, or if
+    /// a program callback panics (the panic is forwarded).
+    pub fn run<P, F>(&mut self, mut make: F) -> (Vec<P::Output>, RunStats)
+    where
+        P: Program + Send,
+        P::Output: Send,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let n = self.graph.n();
+        let graph = self.graph;
+        let csr = &self.csr;
+        let senders = &self.senders;
+        let cap = self.cap;
+        let max_rounds = self.max_rounds;
+        let record = self.record_metrics;
+        let threads = self.threads.clamp(1, n.max(1));
+        let shards = shard_bounds(n, threads);
+
+        // `make` runs on the calling thread, in node order (contract).
+        let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
+        let mut queues: Vec<VecDeque<InlineMsg>> =
+            (0..csr.directed_len()).map(|_| VecDeque::new()).collect();
+        let mut per_directed: Vec<u64> = if record {
+            vec![0; csr.directed_len()]
+        } else {
+            Vec::new()
+        };
+
+        let mut stats = RunStats::default();
+        let livelocked;
+        let histograms;
+
+        {
+            let programs_sh = SharedSlice::new(&mut programs);
+            let queues_sh = SharedSlice::new(&mut queues);
+            let per_directed_sh = SharedSlice::new(&mut per_directed);
+            let pending = AtomicI64::new(0);
+            let any_active = AtomicBool::new(false);
+            let delivered_cum = AtomicU64::new(0);
+            let round_max_depth = AtomicU64::new(0);
+            let abort = AtomicBool::new(false);
+            let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+            let barrier = Barrier::new(threads);
+
+            // One worker body, run by `threads` threads in lockstep;
+            // returns (rounds, messages, histograms) — meaningful for
+            // worker 0 only.
+            let worker = |wid: usize| -> (u64, u64, Option<(Vec<u64>, Vec<u64>)>) {
+                let (lo, hi) = shards[wid];
+                let mut staged: Vec<(NodeId, Message)> = Vec::new();
+                let mut arena: Vec<(NodeId, Message)> = Vec::new();
+                let mut ranges: Vec<(usize, usize)> = vec![(0, 0); hi - lo];
+                let mut round: u64 = 0;
+                let mut messages: u64 = 0;
+                let mut delivered_seen: u64 = 0;
+                let mut hist_msgs: Vec<u64> = Vec::new();
+                let mut hist_depth: Vec<u64> = Vec::new();
+
+                let guard = |f: &mut dyn FnMut()| {
+                    if abort.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                        *panic_payload.lock().unwrap() = Some(payload);
+                        abort.store(true, Ordering::SeqCst);
+                    }
+                };
+
+                // ---- init phase (round 0): one send burst per node.
+                guard(&mut || {
+                    let mut delta: i64 = 0;
+                    for v in lo..hi {
+                        let p = unsafe { programs_sh.get_mut(v) };
+                        let mut ctx = Ctx::new(v, n, 0, graph.neighbors(v), &mut staged);
+                        p.init(&mut ctx);
+                        for (to, msg) in staged.drain(..) {
+                            let d = csr.out_id(v, to);
+                            unsafe { queues_sh.get_mut(d) }.push_back(InlineMsg::pack(&msg));
+                            delta += 1;
+                        }
+                    }
+                    pending.fetch_add(delta, Ordering::SeqCst);
+                });
+                barrier.wait();
+
+                loop {
+                    // ---- phase A: quiescence contribution (guarded:
+                    // a panicking is_quiescent must abort, not strand
+                    // the other workers at the barrier).
+                    guard(&mut || {
+                        let quiescent =
+                            (lo..hi).all(|v| unsafe { programs_sh.get_mut(v) }.is_quiescent());
+                        if !quiescent {
+                            any_active.store(true, Ordering::SeqCst);
+                        }
+                    });
+                    barrier.wait(); // #1: all contributions visible
+
+                    // ---- decide (identically on every worker).
+                    let decision = if abort.load(Ordering::SeqCst) {
+                        Decision::Aborted
+                    } else if pending.load(Ordering::SeqCst) == 0
+                        && !any_active.load(Ordering::SeqCst)
+                    {
+                        Decision::Quiescent
+                    } else if round + 1 > max_rounds {
+                        Decision::Livelocked
+                    } else {
+                        Decision::Continue
+                    };
+                    // Worker 0 accounts the *previous* round's deliveries
+                    // (all adds completed before barrier #1).
+                    if wid == 0 {
+                        let cum = delivered_cum.load(Ordering::SeqCst);
+                        let this_round = cum - delivered_seen;
+                        delivered_seen = cum;
+                        messages = cum;
+                        if record && round > 0 {
+                            hist_msgs.push(this_round);
+                            hist_depth.push(round_max_depth.load(Ordering::SeqCst));
+                        }
+                    }
+                    barrier.wait(); // #2: decision epoch closed
+
+                    match decision {
+                        Decision::Continue => {}
+                        _ => {
+                            return (
+                                round,
+                                messages,
+                                (wid == 0 && record).then_some((hist_msgs, hist_depth)),
+                            );
+                        }
+                    }
+                    round += 1;
+                    if wid == 0 {
+                        // Next phase-A writes happen after barrier #4,
+                        // next depth writes after barrier #3: both
+                        // resets are race-free here.
+                        any_active.store(false, Ordering::SeqCst);
+                        round_max_depth.store(0, Ordering::SeqCst);
+                    }
+
+                    // ---- deliver: pop own nodes' incoming queues.
+                    guard(&mut || {
+                        arena.clear();
+                        let mut delta: i64 = 0;
+                        for v in lo..hi {
+                            let start = arena.len();
+                            for &d in csr.incoming(v) {
+                                let q = unsafe { queues_sh.get_mut(d) };
+                                let mut popped = 0u64;
+                                while popped < cap as u64 {
+                                    match q.pop_front() {
+                                        Some(im) => {
+                                            arena.push((senders[d], im.unpack()));
+                                            popped += 1;
+                                        }
+                                        None => break,
+                                    }
+                                }
+                                delta -= popped as i64;
+                                if record && popped > 0 {
+                                    *unsafe { per_directed_sh.get_mut(d) } += popped;
+                                }
+                            }
+                            ranges[v - lo] = (start, arena.len());
+                        }
+                        pending.fetch_add(delta, Ordering::SeqCst);
+                        delivered_cum.fetch_add((-delta) as u64, Ordering::SeqCst);
+                    });
+                    barrier.wait(); // #3: all inboxes assembled
+
+                    // ---- compute: run own programs, push own sends.
+                    guard(&mut || {
+                        let mut delta: i64 = 0;
+                        for v in lo..hi {
+                            let (start, end) = ranges[v - lo];
+                            let p = unsafe { programs_sh.get_mut(v) };
+                            let mut ctx = Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
+                            p.round(&mut ctx, &arena[start..end]);
+                            for (to, msg) in staged.drain(..) {
+                                let d = csr.out_id(v, to);
+                                unsafe { queues_sh.get_mut(d) }.push_back(InlineMsg::pack(&msg));
+                                delta += 1;
+                            }
+                        }
+                        pending.fetch_add(delta, Ordering::SeqCst);
+                        if record {
+                            let mut depth = 0u64;
+                            for v in lo..hi {
+                                for &(_, d) in csr.out(v) {
+                                    depth = depth.max(unsafe { queues_sh.get_mut(d) }.len() as u64);
+                                }
+                            }
+                            round_max_depth.fetch_max(depth, Ordering::SeqCst);
+                        }
+                    });
+                    barrier.wait(); // #4: all sends queued
+                }
+            };
+
+            let (rounds, messages, hists) = std::thread::scope(|s| {
+                for wid in 1..threads {
+                    let w = &worker;
+                    s.spawn(move || w(wid));
+                }
+                worker(0)
+            });
+
+            if let Some(payload) = panic_payload.lock().unwrap().take() {
+                resume_unwind(payload);
+            }
+            stats.rounds = rounds;
+            stats.messages = messages;
+            livelocked = rounds >= max_rounds
+                && (pending.load(Ordering::SeqCst) != 0 || any_active.load(Ordering::SeqCst));
+            histograms = hists;
+        }
+
+        if livelocked {
+            panic!("CONGEST run exceeded {max_rounds} rounds — livelocked program?");
+        }
+
+        if record {
+            let (messages_per_round, max_queue_depth_per_round) = histograms.unwrap_or_default();
+            self.last_report = Some(EngineReport {
+                rounds: stats.rounds,
+                total_messages: stats.messages,
+                messages_per_round,
+                max_queue_depth_per_round,
+                hot_edges: EngineReport::rank_hot_edges(&per_directed),
+                threads,
+            });
+        }
+
+        self.total.absorb(stats);
+        (programs.into_iter().map(Program::finish).collect(), stats)
+    }
+}
+
+impl<'g> Executor for Engine<'g> {
+    type Sub<'h> = Engine<'h>;
+
+    fn sub<'h>(&self, graph: &'h Graph) -> Engine<'h> {
+        let mut sub = Engine::with_threads(graph, self.threads);
+        sub.cap = self.cap;
+        sub.max_rounds = self.max_rounds;
+        sub.record_metrics = self.record_metrics;
+        sub
+    }
+
+    fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    fn cap(&self) -> usize {
+        self.cap
+    }
+
+    fn set_cap(&mut self, cap: usize) {
+        assert!(cap >= 1, "bandwidth cap must be at least 1");
+        self.cap = cap;
+    }
+
+    fn set_max_rounds(&mut self, max_rounds: u64) {
+        self.max_rounds = max_rounds;
+    }
+
+    fn total(&self) -> RunStats {
+        self.total
+    }
+
+    fn reset_total(&mut self) {
+        self.total = RunStats::default();
+    }
+
+    fn charge(&mut self, stats: RunStats) {
+        self.total.absorb(stats);
+    }
+
+    fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)
+    where
+        P: Program + Send,
+        P::Output: Send,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        Engine::run(self, make)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::Simulator;
+    use lightgraph::generators;
+
+    struct Flood {
+        have: bool,
+    }
+
+    impl Program for Flood {
+        type Output = (bool, u64);
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                self.have = true;
+                ctx.send_all(Message::words(&[7]));
+            }
+        }
+        fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            if !self.have && !inbox.is_empty() {
+                self.have = true;
+                ctx.send_all(Message::words(&[7]));
+            }
+        }
+        fn finish(self) -> (bool, u64) {
+            (self.have, 0)
+        }
+    }
+
+    #[test]
+    fn matches_simulator_on_flood() {
+        for seed in 0..5 {
+            let g = generators::erdos_renyi(64, 0.08, 10, seed);
+            let mut sim = Simulator::new(&g);
+            let (a, sa) = sim.run(|_, _| Flood { have: false });
+            for threads in [1, 2, 5] {
+                let mut eng = Engine::with_threads(&g, threads);
+                let (b, sb) = eng.run(|_, _| Flood { have: false });
+                assert_eq!(a, b, "outputs differ (threads={threads}, seed={seed})");
+                assert_eq!(sa, sb, "stats differ (threads={threads}, seed={seed})");
+            }
+        }
+    }
+
+    struct Burst {
+        k: usize,
+        received: usize,
+    }
+
+    impl Program for Burst {
+        type Output = usize;
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                for i in 0..self.k {
+                    ctx.send(1, Message::words(&[i as u64]));
+                }
+            }
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            self.received += inbox.len();
+        }
+        fn finish(self) -> usize {
+            self.received
+        }
+    }
+
+    #[test]
+    fn bandwidth_cap_pipelines_like_simulator() {
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 2);
+        let (out, stats) = eng.run(|_, _| Burst { k: 10, received: 0 });
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(out[1], 10);
+
+        let mut eng5 = Engine::with_threads(&g, 2);
+        Executor::set_cap(&mut eng5, 5);
+        let (_, s5) = eng5.run(|_, _| Burst { k: 10, received: 0 });
+        assert_eq!(s5.rounds, 2);
+    }
+
+    #[test]
+    fn per_edge_fifo_order_is_preserved() {
+        // node 0 sends 0..6 to node 1; they must arrive in order.
+        struct Seq {
+            k: u64,
+            got: Vec<u64>,
+        }
+        impl Program for Seq {
+            type Output = Vec<u64>;
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.node() == 0 {
+                    for i in 0..self.k {
+                        ctx.send(1, Message::words(&[i]));
+                    }
+                }
+            }
+            fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+                for (_, m) in inbox {
+                    self.got.push(m.word(0));
+                }
+            }
+            fn finish(self) -> Vec<u64> {
+                self.got
+            }
+        }
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 2);
+        let (out, _) = eng.run(|_, _| Seq {
+            k: 6,
+            got: Vec::new(),
+        });
+        assert_eq!(out[1], vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "livelocked")]
+    fn livelock_guard_fires() {
+        struct Chatter;
+        impl Program for Chatter {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_all(Message::words(&[0]));
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+                let senders: Vec<NodeId> = inbox.iter().map(|&(from, _)| from).collect();
+                for from in senders {
+                    ctx.send(from, Message::words(&[0]));
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 2);
+        Executor::set_max_rounds(&mut eng, 100);
+        eng.run(|_, _| Chatter);
+    }
+
+    #[test]
+    fn program_panics_are_forwarded_not_deadlocked() {
+        struct Bomb;
+        impl Program for Bomb {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_all(Message::words(&[1]));
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {
+                if ctx.node() == 3 {
+                    panic!("boom at node 3");
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = generators::cycle(8, 1);
+        let mut eng = Engine::with_threads(&g, 3);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| eng.run(|_, _| Bomb)))
+            .expect_err("must propagate");
+        let text = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert!(text.contains("boom"), "unexpected payload {text:?}");
+    }
+
+    #[test]
+    fn panicking_is_quiescent_is_forwarded_not_deadlocked() {
+        struct QuietBomb {
+            armed: bool,
+        }
+        impl Program for QuietBomb {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_all(Message::words(&[1]));
+            }
+            fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {
+                self.armed = true;
+            }
+            fn is_quiescent(&self) -> bool {
+                assert!(!self.armed, "quiescence bomb");
+                true
+            }
+            fn finish(self) {}
+        }
+        let g = generators::cycle(8, 1);
+        let mut eng = Engine::with_threads(&g, 3);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            eng.run(|_, _| QuietBomb { armed: false })
+        }))
+        .expect_err("must propagate");
+        let text = err
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            text.contains("quiescence bomb"),
+            "unexpected payload {text:?}"
+        );
+    }
+
+    #[test]
+    fn report_collects_histograms_and_hot_edges() {
+        let g = lightgraph::Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 2);
+        eng.set_record_metrics(true);
+        let (_, stats) = eng.run(|_, _| Burst { k: 4, received: 0 });
+        let report = eng.last_report().expect("recording enabled");
+        assert_eq!(report.rounds, stats.rounds);
+        assert_eq!(report.total_messages, stats.messages);
+        assert_eq!(
+            report.messages_per_round.iter().sum::<u64>(),
+            stats.messages
+        );
+        assert_eq!(report.hot_edges[0].0, 0, "edge 0 carries the burst");
+        assert_eq!(
+            report.peak_queue_depth(),
+            3,
+            "k-1 messages remain after round 1"
+        );
+        assert_eq!(report.threads, 2);
+    }
+
+    #[test]
+    fn empty_and_trivial_graphs() {
+        let g0 = lightgraph::Graph::new(0);
+        let mut e0 = Engine::new(&g0);
+        let (out, stats) = e0.run(|_, _| Flood { have: false });
+        assert!(out.is_empty());
+        assert_eq!(stats, RunStats::default());
+
+        let g1 = lightgraph::Graph::new(1);
+        let mut e1 = Engine::new(&g1);
+        let (out, stats) = e1.run(|_, _| Flood { have: false });
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn totals_accumulate_and_sub_inherits() {
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 1);
+        eng.run(|_, _| Burst { k: 3, received: 0 });
+        eng.run(|_, _| Burst { k: 4, received: 0 });
+        assert_eq!(Executor::total(&eng).rounds, 7);
+        Executor::set_cap(&mut eng, 3);
+        let h = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let sub = Executor::sub(&eng, &h);
+        assert_eq!(Executor::cap(&sub), 3);
+        assert_eq!(Executor::total(&sub), RunStats::default());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests: the parallel engine is bit-identical to the
+//! sequential simulator.
+//!
+//! For random Erdős–Rényi and doubling-metric (random geometric)
+//! instances, every algorithm here must produce *exactly* the same
+//! per-node outputs and the same `RunStats` (rounds and messages) on
+//! `congest::Simulator` and on `engine::Engine`, across thread counts.
+//! This is the determinism contract of `congest::exec` — the property
+//! that lets the engine stand in for the simulator when reproducing the
+//! paper's round counts.
+
+use congest::collective;
+use congest::tree::build_bfs_tree;
+use congest::{Executor, Simulator};
+use dist_mst::boruvka::distributed_mst;
+use engine::Engine;
+use lightgraph::{generators, Graph};
+use proptest::prelude::*;
+
+/// Random connected instances: Erdős–Rényi for general graphs and
+/// random geometric for the paper's doubling-metric workloads.
+fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
+    (8usize..48, 0u64..1_000, 0u64..3).prop_map(|(n, seed, kind)| {
+        let g = match kind {
+            0 | 1 => {
+                let p = (kind + 1) as f64 * 2.0 / n as f64;
+                generators::erdos_renyi(n, p.min(0.9), 50, seed)
+            }
+            _ => {
+                let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                generators::random_geometric(n, r, seed)
+            }
+        };
+        (g, seed)
+    })
+}
+
+const THREADS: [usize; 3] = [1, 3, 6];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_bfs_tree_identical((g, _seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (ts, ss) = build_bfs_tree(&mut sim, 0);
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (te, se) = build_bfs_tree(&mut eng, 0);
+            prop_assert_eq!(ss, se, "stats (threads={})", threads);
+            prop_assert_eq!(&ts.parent, &te.parent, "parents (threads={})", threads);
+            prop_assert_eq!(&ts.depth, &te.depth, "depths (threads={})", threads);
+            prop_assert_eq!(&ts.children, &te.children, "children (threads={})", threads);
+            prop_assert_eq!(Executor::total(&sim).rounds > 0, Executor::total(&eng).rounds > 0);
+        }
+    }
+
+    #[test]
+    fn prop_broadcast_and_convergecast_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let items: Vec<collective::Item> =
+            (0..10).map(|i| (i + seed % 5, [i * 3, i + 1])).collect();
+        let (bs, bss) = collective::broadcast(&mut sim, &tau, items.clone());
+        let (cs, css) = collective::converge_min(&mut sim, &tau, |v| {
+            vec![((v % 7) as u64, [(v * 31 % 13) as u64, v as u64])]
+        });
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            prop_assert_eq!(&tau.parent, &tau_e.parent);
+            let (be, bse) = collective::broadcast(&mut eng, &tau_e, items.clone());
+            prop_assert_eq!(&bs, &be, "broadcast outputs (threads={})", threads);
+            prop_assert_eq!(bss, bse, "broadcast stats (threads={})", threads);
+            let (ce, cse) = collective::converge_min(&mut eng, &tau_e, |v| {
+                vec![((v % 7) as u64, [(v * 31 % 13) as u64, v as u64])]
+            });
+            prop_assert_eq!(&cs, &ce, "converge outputs (threads={})", threads);
+            prop_assert_eq!(css, cse, "converge stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_mst_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ms = distributed_mst(&mut sim, &tau, 0, seed);
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let me = distributed_mst(&mut eng, &tau_e, 0, seed);
+            prop_assert_eq!(ms.weight, me.weight, "weight (threads={})", threads);
+            prop_assert_eq!(&ms.mst_edges, &me.mst_edges, "edges (threads={})", threads);
+            prop_assert_eq!(ms.stats, me.stats, "stats (threads={})", threads);
+            prop_assert_eq!(
+                Executor::total(&sim).messages,
+                Executor::total(&eng).messages,
+                "cumulative messages (threads={})", threads
+            );
+        }
+    }
+
+    #[test]
+    fn prop_cap_ablation_identical((g, _seed) in arb_graph(), cap in 1usize..4) {
+        let mut sim = Simulator::new(&g);
+        Executor::set_cap(&mut sim, cap);
+        let (ts, ss) = build_bfs_tree(&mut sim, 0);
+        let mut eng = Engine::with_threads(&g, 4);
+        Executor::set_cap(&mut eng, cap);
+        let (te, se) = build_bfs_tree(&mut eng, 0);
+        prop_assert_eq!(ss, se, "stats at cap {}", cap);
+        prop_assert_eq!(ts.parent, te.parent);
+    }
+}

@@ -78,7 +78,12 @@ pub fn all_pairs(g: &Graph) -> Vec<Vec<Weight>> {
 
 /// The weighted eccentricity of `src`.
 pub fn eccentricity(g: &Graph, src: NodeId) -> Weight {
-    shortest_paths(g, src).dist.into_iter().filter(|&d| d < INF).max().unwrap_or(0)
+    shortest_paths(g, src)
+        .dist
+        .into_iter()
+        .filter(|&d| d < INF)
+        .max()
+        .unwrap_or(0)
 }
 
 /// An upper bound on the weighted diameter via double-sweep: eccentricity

@@ -43,8 +43,76 @@ pub fn erdos_renyi(n: usize, p: f64, max_w: Weight, seed: u64) -> Graph {
     for u in 0..n {
         for v in (u + 1)..n {
             if !present.contains(&(u, v)) && r.gen_bool(p) {
-                g.add_edge(u, v, r.gen_range(1..=max_w)).expect("valid edge");
+                g.add_edge(u, v, r.gen_range(1..=max_w))
+                    .expect("valid edge");
             }
+        }
+    }
+    g
+}
+
+/// Connected sparse Erdős–Rényi graph in `O(n + m)` expected time:
+/// a random spanning tree plus geometric-skip sampling over the
+/// non-tree pairs (the classic fast-G(n,p) trick — instead of testing
+/// every pair, jump `⌊ln u / ln(1−p)⌋` pairs ahead per accepted edge).
+///
+/// Produces the same *distribution family* as [`erdos_renyi`] but a
+/// different per-seed stream, so use it where scale matters (the
+/// `scenario` runner's 10⁵⁺-node sweeps) and [`erdos_renyi`] where
+/// seeds are pinned in tests. Skipped pairs that collide with a tree
+/// edge are dropped, matching [`erdos_renyi`]'s dedup behavior.
+pub fn gnp_sparse(n: usize, p: f64, max_w: Weight, seed: u64) -> Graph {
+    assert!(n >= 1);
+    assert!(max_w >= 1);
+    assert!((0.0..=1.0).contains(&p), "probability p must be in [0, 1]");
+    let mut r = rng(seed);
+    let mut g = Graph::new(n);
+    let mut present = std::collections::HashSet::new();
+    for (u, v, w) in random_tree_edges(n, max_w, &mut r) {
+        present.insert((u.min(v), u.max(v)));
+        g.add_edge(u, v, w).expect("tree edge valid");
+    }
+    if p <= 0.0 || n < 2 {
+        return g;
+    }
+    // Walk pairs (u, v), u < v, lexicographically with an incremental
+    // cursor; geometric skips keep the whole sweep O(n + m) amortized.
+    let ln_q = (1.0 - p).ln();
+    let mut u = 0usize;
+    let mut v = 1usize;
+    'sweep: loop {
+        let mut skip = if ln_q == f64::NEG_INFINITY {
+            0 // p == 1: take every pair
+        } else {
+            let x: f64 = r.gen_range(f64::EPSILON..1.0);
+            (x.ln() / ln_q).floor() as usize
+        };
+        // advance the cursor `skip` pairs
+        loop {
+            let remaining_in_row = n - v;
+            if skip < remaining_in_row {
+                v += skip;
+                break;
+            }
+            skip -= remaining_in_row;
+            u += 1;
+            if u >= n - 1 {
+                break 'sweep;
+            }
+            v = u + 1;
+        }
+        if present.insert((u, v)) {
+            g.add_edge(u, v, r.gen_range(1..=max_w))
+                .expect("valid edge");
+        }
+        // step to the next pair
+        v += 1;
+        if v >= n {
+            u += 1;
+            if u >= n - 1 {
+                break;
+            }
+            v = u + 1;
         }
     }
     g
@@ -72,7 +140,8 @@ pub fn tree_plus_chords(n: usize, chords: usize, max_w: Weight, seed: u64) -> Gr
         }
         let key = (u.min(v), u.max(v));
         if present.insert(key) {
-            g.add_edge(u, v, r.gen_range(1..=max_w)).expect("valid edge");
+            g.add_edge(u, v, r.gen_range(1..=max_w))
+                .expect("valid edge");
             added += 1;
         }
     }
@@ -155,10 +224,12 @@ pub fn grid(rows: usize, cols: usize, max_w: Weight, seed: u64) -> Graph {
     for i in 0..rows {
         for j in 0..cols {
             if j + 1 < cols {
-                g.add_edge(idx(i, j), idx(i, j + 1), r.gen_range(1..=max_w)).expect("valid");
+                g.add_edge(idx(i, j), idx(i, j + 1), r.gen_range(1..=max_w))
+                    .expect("valid");
             }
             if i + 1 < rows {
-                g.add_edge(idx(i, j), idx(i + 1, j), r.gen_range(1..=max_w)).expect("valid");
+                g.add_edge(idx(i, j), idx(i + 1, j), r.gen_range(1..=max_w))
+                    .expect("valid");
             }
         }
     }
@@ -236,7 +307,8 @@ pub fn comb(n: usize, t: Weight) -> Graph {
     assert!(n >= 2 && t >= 1);
     let mut g = path(n, 1);
     for v in 2..n {
-        g.add_edge(0, v, (v as Weight / t).max(1)).expect("valid shortcut");
+        g.add_edge(0, v, (v as Weight / t).max(1))
+            .expect("valid shortcut");
     }
     g
 }
@@ -256,8 +328,12 @@ pub enum Family {
 
 impl Family {
     /// All families, for sweeps.
-    pub const ALL: [Family; 4] =
-        [Family::ErdosRenyi, Family::Geometric, Family::TreeChords, Family::Grid];
+    pub const ALL: [Family; 4] = [
+        Family::ErdosRenyi,
+        Family::Geometric,
+        Family::TreeChords,
+        Family::Grid,
+    ];
 
     /// Human-readable name.
     pub fn name(self) -> &'static str {
@@ -347,6 +423,35 @@ mod tests {
     }
 
     #[test]
+    fn gnp_sparse_is_connected_deterministic_and_sized() {
+        for seed in 0..5 {
+            let n = 400;
+            let g = gnp_sparse(n, 8.0 / n as f64, 100, seed);
+            assert!(g.is_connected());
+            let extra = g.m() - (n - 1);
+            // expected extra edges ≈ p · (C(n,2) − (n−1)) ≈ 1590;
+            // loose 3σ-ish band to keep the test robust
+            assert!(
+                (1100..2100).contains(&extra),
+                "seed {seed}: {extra} extra edges is implausible for p=8/n"
+            );
+        }
+        let a = gnp_sparse(300, 0.03, 50, 9);
+        let b = gnp_sparse(300, 0.03, 50, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn gnp_sparse_extremes() {
+        let g = gnp_sparse(40, 0.0, 10, 1);
+        assert_eq!(g.m(), 39, "p=0 keeps only the spanning tree");
+        let g = gnp_sparse(12, 1.0, 10, 1);
+        assert_eq!(g.m(), 12 * 11 / 2, "p=1 yields the complete graph");
+        let g = gnp_sparse(1, 0.5, 10, 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
     fn tree_plus_chords_counts() {
         let g = tree_plus_chords(40, 10, 100, 8);
         assert!(g.is_connected());
@@ -372,7 +477,11 @@ mod tests {
         let spt_w: u64 = (0..g.n())
             .filter_map(|v| d.parent[v].map(|(_, e)| g.edge(e).w))
             .sum();
-        assert!(spt_w > 3 * m.weight, "SPT weight {spt_w} vs MST {}", m.weight);
+        assert!(
+            spt_w > 3 * m.weight,
+            "SPT weight {spt_w} vs MST {}",
+            m.weight
+        );
     }
 
     #[test]

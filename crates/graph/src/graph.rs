@@ -55,7 +55,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for graph with {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
             }
             GraphError::SelfLoop { vertex } => write!(f, "self loop at vertex {vertex}"),
             GraphError::ZeroWeight { u, v } => {
@@ -83,7 +86,11 @@ pub struct Graph {
 impl Graph {
     /// Creates an empty graph with `n` isolated vertices.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new(), adj: vec![Vec::new(); n] }
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -108,10 +115,16 @@ impl Graph {
     /// See [`Graph::from_edges`].
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, w: Weight) -> Result<EdgeId, GraphError> {
         if u >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: u, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
         }
         if v >= self.n {
-            return Err(GraphError::VertexOutOfRange { vertex: v, n: self.n });
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
@@ -227,7 +240,10 @@ impl Graph {
     /// ignoring weights. Runs a BFS from every vertex, so use it only on
     /// test-sized graphs; the simulator uses a 2-approximation internally.
     pub fn hop_diameter(&self) -> usize {
-        (0..self.n).map(|v| self.hop_eccentricity(v)).max().unwrap_or(0)
+        (0..self.n)
+            .map(|v| self.hop_eccentricity(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// 2-approximate hop diameter via a single BFS (eccentricity of vertex
@@ -246,7 +262,8 @@ impl Graph {
         let mut g = Graph::new(self.n);
         for id in edge_ids {
             let e = self.edges[id];
-            g.add_edge(e.u, e.v, e.w).expect("edge copied from a valid graph");
+            g.add_edge(e.u, e.v, e.w)
+                .expect("edge copied from a valid graph");
         }
         g
     }
@@ -314,15 +331,24 @@ mod tests {
     #[test]
     fn rejects_zero_weight() {
         let mut g = Graph::new(2);
-        assert_eq!(g.add_edge(0, 1, 0), Err(GraphError::ZeroWeight { u: 0, v: 1 }));
+        assert_eq!(
+            g.add_edge(0, 1, 0),
+            Err(GraphError::ZeroWeight { u: 0, v: 1 })
+        );
     }
 
     #[test]
     fn adjacency_is_symmetric() {
         let g = triangle();
         for e in g.edges() {
-            assert!(g.neighbors(e.u).iter().any(|&(v, w, _)| v == e.v && w == e.w));
-            assert!(g.neighbors(e.v).iter().any(|&(v, w, _)| v == e.u && w == e.w));
+            assert!(g
+                .neighbors(e.u)
+                .iter()
+                .any(|&(v, w, _)| v == e.v && w == e.w));
+            assert!(g
+                .neighbors(e.v)
+                .iter()
+                .any(|&(v, w, _)| v == e.u && w == e.w));
         }
     }
 

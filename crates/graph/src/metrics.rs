@@ -20,7 +20,10 @@ fn ratio(num: u64, den: u64) -> f64 {
 /// Panics if `g` is disconnected (lightness is defined w.r.t. the MST).
 pub fn lightness(g: &Graph, h: &Graph) -> f64 {
     let m = mst::kruskal(g);
-    assert!(m.is_spanning_tree, "lightness requires a connected base graph");
+    assert!(
+        m.is_spanning_tree,
+        "lightness requires a connected base graph"
+    );
     ratio(h.total_weight(), m.weight)
 }
 
@@ -105,7 +108,11 @@ pub struct SpannerQuality {
 
 /// Computes exact quality metrics (use on test-sized graphs).
 pub fn spanner_quality(g: &Graph, h: &Graph) -> SpannerQuality {
-    SpannerQuality { stretch: max_stretch(g, h), edges: h.m(), lightness: lightness(g, h) }
+    SpannerQuality {
+        stretch: max_stretch(g, h),
+        edges: h.m(),
+        lightness: lightness(g, h),
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +148,9 @@ mod tests {
     fn root_stretch_of_spt_is_one() {
         let g = generators::erdos_renyi(30, 0.2, 50, 4);
         let sp = dijkstra::shortest_paths(&g, 0);
-        let ids: Vec<_> = (0..g.n()).filter_map(|v| sp.parent[v].map(|(_, e)| e)).collect();
+        let ids: Vec<_> = (0..g.n())
+            .filter_map(|v| sp.parent[v].map(|(_, e)| e))
+            .collect();
         let t = g.edge_subgraph(ids);
         assert!((root_stretch(&g, &t, 0) - 1.0).abs() < 1e-12);
     }

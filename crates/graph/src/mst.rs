@@ -39,7 +39,11 @@ pub fn kruskal(g: &Graph) -> Mst {
     }
     edges.sort_unstable();
     let is_spanning_tree = g.n() <= 1 || edges.len() == g.n() - 1;
-    Mst { edges, weight, is_spanning_tree }
+    Mst {
+        edges,
+        weight,
+        is_spanning_tree,
+    }
 }
 
 /// Checks that `edge_ids` forms a spanning tree of `g` and returns its

@@ -60,7 +60,14 @@ impl RootedTree {
         for c in &mut children {
             c.sort_unstable();
         }
-        RootedTree { root, parent, children, order, depth_hops, dist_to_root }
+        RootedTree {
+            root,
+            parent,
+            children,
+            order,
+            depth_hops,
+            dist_to_root,
+        }
     }
 
     /// The root vertex.
@@ -183,7 +190,11 @@ impl RootedTree {
                 }
             }
         }
-        EulerTour { seq, times, appearances }
+        EulerTour {
+            seq,
+            times,
+            appearances,
+        }
     }
 }
 
@@ -287,8 +298,13 @@ mod tests {
             let (a, b) = (tour.seq[i - 1], tour.seq[i]);
             let step = tour.times[i] - tour.times[i - 1];
             // a and b must be parent/child with edge weight == step
-            let ok = t.parent(a).map(|(p, w, _)| p == b && w == step).unwrap_or(false)
-                || t.parent(b).map(|(p, w, _)| p == a && w == step).unwrap_or(false);
+            let ok = t
+                .parent(a)
+                .map(|(p, w, _)| p == b && w == step)
+                .unwrap_or(false)
+                || t.parent(b)
+                    .map(|(p, w, _)| p == a && w == step)
+                    .unwrap_or(false);
             assert!(ok, "positions {} and {} not tree-adjacent", i - 1, i);
         }
     }

@@ -10,7 +10,7 @@
 //! so the decision "is cluster c sampled in phase i" is locally
 //! computable by every vertex.
 
-use congest::{Ctx, Message, Program, RunStats, Simulator};
+use congest::{Ctx, Executor, Message, Program, RunStats};
 use lightgraph::{EdgeId, NodeId, Weight};
 use std::collections::HashMap;
 
@@ -67,11 +67,12 @@ impl Program for ClusterExchange {
 /// `seed` drives cluster sampling; the construction is deterministic in
 /// it. Stretch `2k−1` holds for every run (the randomness only affects
 /// the size).
-pub fn baswana_sen(sim: &mut Simulator<'_>, k: usize, seed: u64) -> BsSpanner {
+pub fn baswana_sen(sim: &mut impl Executor, k: usize, seed: u64) -> BsSpanner {
     assert!(k >= 1, "stretch parameter k must be at least 1");
     let start = sim.total();
     let g = sim.graph();
     let n = g.n();
+    let m = g.m();
     let p = (n.max(2) as f64).powf(-1.0 / k as f64);
 
     // center[v] = Some(center id) while v is clustered.
@@ -88,12 +89,13 @@ pub fn baswana_sen(sim: &mut Simulator<'_>, k: usize, seed: u64) -> BsSpanner {
             center: center_ref[v],
             heard: HashMap::new(),
         });
+        let g = sim.graph();
         // (b) sampling decision, locally computable from the seed.
         // The last phase samples nothing, forcing every clustered
         // vertex to connect to all adjacent clusters.
         let sampled = |c: u64| -> bool {
-            phase < k && (splitmix64(seed ^ (phase as u64) << 24 ^ c) as f64)
-                < p * (u64::MAX as f64)
+            phase < k
+                && (splitmix64(seed ^ (phase as u64) << 24 ^ c) as f64) < p * (u64::MAX as f64)
         };
         // (c) local decisions (free).
         for v in 0..n {
@@ -165,7 +167,7 @@ pub fn baswana_sen(sim: &mut Simulator<'_>, k: usize, seed: u64) -> BsSpanner {
     // between two retired vertices were covered when the first endpoint
     // retired (it added its lightest edge per cluster, and a retired
     // neighbor was in *some* cluster at that time).
-    let edges: Vec<EdgeId> = (0..g.m()).filter(|&e| chosen[e]).collect();
+    let edges: Vec<EdgeId> = (0..m).filter(|&e| chosen[e]).collect();
     let mut stats = sim.total();
     stats.rounds -= start.rounds;
     stats.messages -= start.messages;
@@ -175,6 +177,7 @@ pub fn baswana_sen(sim: &mut Simulator<'_>, k: usize, seed: u64) -> BsSpanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest::Simulator;
     use lightgraph::{generators, metrics, Graph};
 
     fn check(g: &Graph, k: usize, seed: u64) -> BsSpanner {

@@ -83,20 +83,27 @@ pub fn en_spanner(adj: &[Vec<usize>], k: usize, seed: u64) -> Vec<(usize, usize)
             break r;
         }
         attempt += 1;
-        assert!(attempt < 64, "radius sampling failed 64 times — bad parameters?");
+        assert!(
+            attempt < 64,
+            "radius sampling failed 64 times — bad parameters?"
+        );
     };
 
     // m/s propagation for k rounds. States the neighbors *sent* last
     // round are their values minus one.
-    let mut state: Vec<EnState> =
-        (0..n).map(|x| EnState { m: radii[x], s: x }).collect();
+    let mut state: Vec<EnState> = (0..n).map(|x| EnState { m: radii[x], s: x }).collect();
     // received[x] = set of (source, best decremented value, via) with
     // maximum value per source — needed for the edge-selection rule.
     let mut best_via: Vec<std::collections::HashMap<usize, (f64, usize)>> =
         vec![std::collections::HashMap::new(); n];
     for _ in 0..k {
-        let sent: Vec<EnState> =
-            state.iter().map(|st| EnState { m: st.m - 1.0, s: st.s }).collect();
+        let sent: Vec<EnState> = state
+            .iter()
+            .map(|st| EnState {
+                m: st.m - 1.0,
+                s: st.s,
+            })
+            .collect();
         let mut incoming: Vec<Vec<EnState>> = vec![Vec::new(); n];
         for x in 0..n {
             for &y in &adj[x] {
@@ -112,8 +119,7 @@ pub fn en_spanner(adj: &[Vec<usize>], k: usize, seed: u64) -> Vec<(usize, usize)
 
     // Edge selection: for every source y whose message reached x with
     // value ≥ m(x) − 1, add one edge towards a neighbor that sent it.
-    let mut edges: std::collections::HashSet<(usize, usize)> =
-        std::collections::HashSet::new();
+    let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     for x in 0..n {
         for (&_src, &(val, via)) in &best_via[x] {
             if val >= state[x].m - 1.0 {

@@ -28,7 +28,8 @@ pub fn greedy_spanner(g: &Graph, t_num: u64, t_den: u64) -> Vec<EdgeId> {
         let limit: Weight = edge.w.saturating_mul(t_num) / t_den;
         let sp = dijkstra::bounded_shortest_paths(&h, edge.u, limit);
         if sp.dist[edge.v] > limit {
-            h.add_edge(edge.u, edge.v, edge.w).expect("edge from valid graph");
+            h.add_edge(edge.u, edge.v, edge.w)
+                .expect("edge from valid graph");
             chosen.push(e);
         }
     }
@@ -74,7 +75,10 @@ mod tests {
         let mst = lightgraph::mst::kruskal(&g);
         let edges = greedy_2k_minus_1(&g, 3);
         for e in mst.edges {
-            assert!(edges.contains(&e), "greedy spanner must contain MST edge {e}");
+            assert!(
+                edges.contains(&e),
+                "greedy spanner must contain MST edge {e}"
+            );
         }
     }
 

@@ -36,9 +36,7 @@ fn main() {
             Some(r) => println!(
                 "{name:<22} cost {cost:>6.2}x MST   worst latency {latency:>6.2}x   ({r} rounds)"
             ),
-            None => println!(
-                "{name:<22} cost {cost:>6.2}x MST   worst latency {latency:>6.2}x"
-            ),
+            None => println!("{name:<22} cost {cost:>6.2}x MST   worst latency {latency:>6.2}x"),
         }
     };
 

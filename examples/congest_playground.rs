@@ -53,7 +53,10 @@ impl Program for DistanceFlood {
 fn main() {
     let g = generators::random_geometric(64, 0.25, 9);
     let mut sim = Simulator::new(&g);
-    let (dists, stats) = sim.run(|v, _| DistanceFlood { dist: u64::MAX, is_source: v == 0 });
+    let (dists, stats) = sim.run(|v, _| DistanceFlood {
+        dist: u64::MAX,
+        is_source: v == 0,
+    });
     let ecc = dists.iter().max().unwrap();
     println!(
         "eccentricity of vertex 0: {ecc}  ({} rounds, {} messages on n={}, m={})",

@@ -24,7 +24,10 @@ fn main() {
         g.m(),
         d
     );
-    println!("{:<8} {:>9} {:>10} {:>8} {:>9} {:>9}", "eps", "stretch", "lightness", "edges", "scales", "rounds");
+    println!(
+        "{:<8} {:>9} {:>10} {:>8} {:>9} {:>9}",
+        "eps", "stretch", "lightness", "edges", "scales", "rounds"
+    );
     for &eps in &[1.0, 0.5, 0.25] {
         let mut sim = Simulator::new(&g);
         let (tau, _) = build_bfs_tree(&mut sim, 0);

@@ -17,7 +17,11 @@ use lightnet::estimate_mst_weight;
 fn main() {
     let g = generators::grid(12, 12, 9, 21);
     let l = mst::kruskal(&g).weight;
-    println!("grid graph: n = {}, m = {}, MST weight L = {l}", g.n(), g.m());
+    println!(
+        "grid graph: n = {}, m = {}, MST weight L = {l}",
+        g.n(),
+        g.m()
+    );
 
     let mut sim = Simulator::new(&g);
     let (tau, _) = build_bfs_tree(&mut sim, 0);
@@ -33,6 +37,9 @@ fn main() {
         est.psi,
         est.alpha * 16.0 * (g.n() as f64).log2() * l as f64
     );
-    println!("total: {} rounds, {} messages", est.stats.rounds, est.stats.messages);
+    println!(
+        "total: {} rounds, {} messages",
+        est.stats.rounds, est.stats.messages
+    );
     assert!(est.psi >= l, "lower side of the sandwich violated");
 }

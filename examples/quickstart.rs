@@ -13,7 +13,12 @@ use lightnet::{doubling_spanner, light_spanner, net, net_quality, shallow_light_
 fn main() {
     let n = 128;
     let g = generators::erdos_renyi(n, 0.06, 60, 42);
-    println!("graph: n = {}, m = {}, hop diameter = {}", g.n(), g.m(), g.hop_diameter());
+    println!(
+        "graph: n = {}, m = {}, hop diameter = {}",
+        g.n(),
+        g.m(),
+        g.hop_diameter()
+    );
 
     // --- light spanner (Table 1 row 1) -------------------------------
     let (k, eps) = (2, 0.25);

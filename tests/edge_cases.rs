@@ -68,7 +68,11 @@ fn runs_are_deterministic_in_the_seed() {
         let sp = light_spanner(&mut sim, &tau, 0, 2, 0.25, seed);
         (sp.edges, sp.stats.rounds)
     };
-    assert_eq!(run(7), run(7), "same seed must give identical output and rounds");
+    assert_eq!(
+        run(7),
+        run(7),
+        "same seed must give identical output and rounds"
+    );
     // different seeds may differ, but both stay within the bounds
     let (e1, _) = run(7);
     let (e2, _) = run(8);

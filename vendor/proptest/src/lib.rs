@@ -1,0 +1,133 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset the workspace's property tests use: the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, integer-range
+//! and tuple strategies, `prop_map`, and `prop::sample::select`. Inputs
+//! are generated deterministically per case index, so failures
+//! reproduce without a persistence file. There is no shrinking: a
+//! failing case reports its inputs via the normal panic message of the
+//! underlying assertion.
+
+pub mod sample;
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Per-test configuration (case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic per-case RNG: every case `i` of every run draws from
+/// the same stream, so CI failures reproduce locally.
+pub fn case_rng(case: u32) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(
+        0xa076_1d64_78bd_642f ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+    )
+}
+
+/// The `prop::…` namespace (`use proptest::prelude::*` then
+/// `prop::sample::select(…)`).
+pub mod prop {
+    pub use crate::sample;
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::case_rng(__case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u64..=9), x in 1u64..100) {
+            prop_assert!(a < 10);
+            prop_assert!((5..=9).contains(&b));
+            prop_assert!((1..100).contains(&x));
+        }
+
+        #[test]
+        fn map_and_select(v in (2usize..6).prop_map(|k| k * 2), e in prop::sample::select(vec![0.25f64, 0.5])) {
+            prop_assert_eq!(v % 2, 0);
+            prop_assert!(e == 0.25 || e == 0.5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::RngCore;
+        let a: Vec<u64> = (0..4).map(|c| crate::case_rng(c).next_u64()).collect();
+        let b: Vec<u64> = (0..4).map(|c| crate::case_rng(c).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}
