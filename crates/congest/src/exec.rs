@@ -25,6 +25,22 @@
 //! `RunStats` for deterministic programs, which is what lets the
 //! parallel engine stand in for the simulator in experiments that
 //! report the paper's round counts.
+//!
+//! **What conformance tests must check.** The contract is verified by
+//! the property suite in `crates/engine/tests/equivalence.rs`, whose
+//! helpers follow three conventions any new conformance test should
+//! copy:
+//!
+//! * run the algorithm fresh on each executor under test (one
+//!   [`Simulator`](crate::Simulator), then one engine per thread
+//!   count), so cumulative [`Executor::total`] counters are directly
+//!   comparable;
+//! * assert *full* per-node outputs field-by-field, not summary
+//!   metrics — clauses 1–4 promise bit-identical state, so any drift
+//!   is a violation rather than tolerable noise;
+//! * assert `RunStats` equality for the algorithm's own stats **and**
+//!   the executor totals, because clause 5 covers every intermediate
+//!   `run` invocation of a composite algorithm, not just the last.
 
 use crate::program::{Program, RunStats};
 use lightgraph::{Graph, NodeId};

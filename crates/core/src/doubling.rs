@@ -37,6 +37,11 @@ pub struct DoublingSpanner {
 /// a strict `1+ε` guarantee should pass `ε/30`. Lightness and size are
 /// only *bounded* when the input has small doubling dimension; the
 /// algorithm itself runs on any graph.
+///
+/// Deterministic under the `congest::exec` engine contract — identical
+/// edges, scales and `RunStats` on the simulator and the parallel
+/// engine (property-tested in `crates/engine/tests/equivalence.rs`;
+/// reachable from the `scenario` runner as `doubling`).
 pub fn doubling_spanner(
     sim: &mut impl Executor,
     tau: &BfsTree,

@@ -37,7 +37,12 @@ pub struct NetResult {
 /// Builds a `((1+δ)·∆, ∆/(1+δ))`-net (Theorem 3).
 ///
 /// `delta > 0` is the slack the paper introduces to tolerate the
-/// auxiliary graph's approximation; `big_delta` is `∆`.
+/// auxiliary graph's approximation; `big_delta` is `∆`. All randomness
+/// derives from `seed`, so the construction is deterministic under the
+/// `congest::exec` engine contract — identical points, iterations and
+/// `RunStats` on the simulator and the parallel engine (property-tested
+/// in `crates/engine/tests/equivalence.rs`; reachable from the
+/// `scenario` runner as `nets`, keys `net_delta`/`net_slack`).
 ///
 /// # Panics
 /// Panics if the iteration count exceeds `20·log₂n + 20` — the

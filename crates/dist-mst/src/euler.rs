@@ -336,6 +336,11 @@ fn tour_times(
 ///
 /// `mst` must come from [`crate::boruvka::distributed_mst`] on the same
 /// graph; `tau` is the shared BFS tree.
+///
+/// Deterministic under the `congest::exec` engine contract: the same
+/// appearances and `RunStats` on the simulator and the parallel engine
+/// (property-tested in `crates/engine/tests/equivalence.rs`), which is
+/// what lets the `scenario` runner sweep `euler` on either engine.
 pub fn distributed_euler_tour(
     sim: &mut impl Executor,
     tau: &BfsTree,

@@ -23,6 +23,16 @@ pub struct SsspResult {
     pub stats: RunStats,
 }
 
+impl SsspResult {
+    /// Largest finite distance estimate — the weighted eccentricity of
+    /// the source when the run was unbounded (0 if nothing was
+    /// reached). Headline metric for the `scenario` runner's `bellman`
+    /// sweeps.
+    pub fn max_finite_dist(&self) -> Weight {
+        crate::max_finite(&self.dist)
+    }
+}
+
 struct BellmanFord {
     is_source: bool,
     dist: Weight,

@@ -87,6 +87,13 @@ impl ApproxSpt {
         path
     }
 
+    /// Largest finite distance estimate — the (approximate) weighted
+    /// eccentricity of the root. Headline metric for the `scenario`
+    /// runner's `landmark` sweeps.
+    pub fn max_finite_dist(&self) -> Weight {
+        crate::max_finite(&self.dist)
+    }
+
     /// Edge ids of the tree (looked up in `g`), for building subgraphs.
     pub fn tree_edges(&self, g: &lightgraph::Graph) -> Vec<lightgraph::EdgeId> {
         (0..self.dist.len())

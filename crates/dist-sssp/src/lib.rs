@@ -17,6 +17,17 @@ pub mod bellman;
 pub mod landmark;
 pub mod le_lists;
 
+/// Largest finite entry of a distance vector (0 if none): the shared
+/// headline-metric kernel behind `SsspResult::max_finite_dist` and
+/// `ApproxSpt::max_finite_dist`.
+pub fn max_finite(dist: &[lightgraph::Weight]) -> lightgraph::Weight {
+    dist.iter()
+        .copied()
+        .filter(|&d| d < lightgraph::INF)
+        .max()
+        .unwrap_or(0)
+}
+
 pub use bellman::{
     bellman_ford, bounded_bellman_ford, multi_source_bounded, MultiSourceResult, SsspResult,
 };

@@ -1,306 +1,17 @@
-//! Scenario runner: sweep graph family × size × algorithm on the
-//! parallel engine (or the sequential simulator) and emit JSON rows.
+//! Scenario runner CLI: sweep graph family × size × algorithm on the
+//! parallel engine (or the sequential simulator) and emit JSONL or CSV
+//! rows. All the logic lives in [`engine::scenario`] so tests can run
+//! sweeps in-process; this binary only parses arguments and wires up
+//! the output stream.
 //!
 //! ```text
 //! scenario                       # run the built-in default sweep
 //! scenario path/to/config.toml   # run a config (see scenarios/)
 //! scenario --print-default       # dump the built-in config and exit
 //! ```
-//!
-//! Each completed (family, n, algorithm, engine, seed) cell prints one
-//! JSON object per line (JSONL) to stdout, or to the `output` file from
-//! the config. Round/message counts are engine-independent — the
-//! parallel engine is bit-identical to the simulator — so `engine =
-//! "both"` doubles as a production determinism check: the runner
-//! verifies the two engines' stats match and fails loudly otherwise.
 
-use congest::tree::build_bfs_tree;
-use congest::{Executor, RunStats, Simulator};
-use dist_mst::boruvka::distributed_mst;
-use engine::config::{self, Table};
-use engine::Engine;
-use lightgraph::{generators, Graph, Weight};
-use lightnet::{light_spanner, shallow_light_tree};
-use std::io::Write;
-use std::time::Instant;
-
-const DEFAULT_CONFIG: &str = r#"# Built-in default sweep (see crates/engine/scenarios/ for more).
-seed = 1
-threads = 0          # 0 = use every core
-engine = "parallel"  # "parallel" | "sim" | "both"
-cap = 1
-record_metrics = true
-
-[[run]]
-family = "erdos-renyi"
-sizes = [1000, 10000]
-algorithms = ["bfs", "mst"]
-
-[[run]]
-family = "grid"
-sizes = [2500]
-algorithms = ["bfs", "slt"]
-eps = 0.5
-"#;
-
-/// One result cell.
-struct Row {
-    family: String,
-    n: usize,
-    m: usize,
-    algorithm: String,
-    engine: String,
-    threads: usize,
-    seed: u64,
-    stats: RunStats,
-    wall_ms: f64,
-    /// Algorithm-specific headline number, e.g. BFS height, MST weight.
-    metric_name: &'static str,
-    metric: u64,
-    /// Engine instrumentation, when recorded.
-    peak_round_messages: Option<u64>,
-    peak_queue_depth: Option<u64>,
-}
-
-impl Row {
-    fn to_json(&self) -> String {
-        let mut s = format!(
-            "{{\"family\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"engine\":\"{}\",\
-             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\"wall_ms\":{:.3},\
-             \"{}\":{}",
-            self.family,
-            self.n,
-            self.m,
-            self.algorithm,
-            self.engine,
-            self.threads,
-            self.seed,
-            self.stats.rounds,
-            self.stats.messages,
-            self.wall_ms,
-            self.metric_name,
-            self.metric,
-        );
-        if let Some(p) = self.peak_round_messages {
-            s.push_str(&format!(",\"peak_round_messages\":{p}"));
-        }
-        if let Some(d) = self.peak_queue_depth {
-            s.push_str(&format!(",\"peak_queue_depth\":{d}"));
-        }
-        s.push('}');
-        s
-    }
-}
-
-fn build_graph(family: &str, n: usize, max_w: Weight, seed: u64) -> Result<Graph, String> {
-    match family {
-        "erdos-renyi" => {
-            let p = (8.0 / n.max(2) as f64).min(1.0);
-            Ok(generators::gnp_sparse(n, p, max_w, seed))
-        }
-        "grid" => {
-            let side = (n as f64).sqrt().ceil() as usize;
-            Ok(generators::grid(side.max(1), side.max(1), max_w, seed))
-        }
-        "tree-chords" => Ok(generators::tree_plus_chords(n, n / 2, max_w, seed)),
-        "geometric" => {
-            if n > 30_000 {
-                return Err(format!(
-                    "family `geometric` is O(n^2) to generate; n={n} is too large (limit 30000)"
-                ));
-            }
-            let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
-            Ok(generators::random_geometric(n, r, seed))
-        }
-        other => Err(format!(
-            "unknown family `{other}` (expected erdos-renyi, grid, tree-chords, geometric)"
-        )),
-    }
-}
-
-/// Runs one algorithm on one executor; returns stats plus a headline
-/// metric.
-fn drive<E: Executor>(
-    exec: &mut E,
-    algorithm: &str,
-    eps: f64,
-    k: usize,
-    seed: u64,
-) -> Result<(RunStats, &'static str, u64), String> {
-    match algorithm {
-        "bfs" => {
-            let (tree, _) = build_bfs_tree(exec, 0);
-            Ok((exec.total(), "height", tree.height()))
-        }
-        "mst" => {
-            let (tau, _) = build_bfs_tree(exec, 0);
-            let m = distributed_mst(exec, &tau, 0, seed);
-            Ok((exec.total(), "weight", m.weight))
-        }
-        "slt" => {
-            let (tau, _) = build_bfs_tree(exec, 0);
-            let slt = shallow_light_tree(exec, &tau, 0, eps, seed);
-            Ok((exec.total(), "breakpoints", slt.breakpoints as u64))
-        }
-        "spanner" => {
-            let (tau, _) = build_bfs_tree(exec, 0);
-            let sp = light_spanner(exec, &tau, 0, k, eps, seed);
-            Ok((exec.total(), "edges", sp.edges.len() as u64))
-        }
-        other => Err(format!(
-            "unknown algorithm `{other}` (expected bfs, mst, slt, spanner)"
-        )),
-    }
-}
-
-struct Globals {
-    threads: usize,
-    cap: usize,
-    record: bool,
-    engines: Vec<&'static str>,
-    base_seed: u64,
-}
-
-struct Cell<'a> {
-    family: &'a str,
-    algorithm: &'a str,
-    eps: f64,
-    k: usize,
-    seed: u64,
-}
-
-fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Result<Row, String> {
-    let start = Instant::now();
-    let (stats, metric_name, metric, peaks) = match which {
-        "sim" => {
-            let mut sim = Simulator::new(g);
-            Executor::set_cap(&mut sim, globals.cap);
-            let (stats, name, metric) =
-                drive(&mut sim, cell.algorithm, cell.eps, cell.k, cell.seed)?;
-            (stats, name, metric, None)
-        }
-        "parallel" => {
-            let mut eng = Engine::with_threads(g, globals.threads);
-            Executor::set_cap(&mut eng, globals.cap);
-            eng.set_record_metrics(globals.record);
-            let (stats, name, metric) =
-                drive(&mut eng, cell.algorithm, cell.eps, cell.k, cell.seed)?;
-            let peaks = eng
-                .last_report()
-                .map(|r| (r.peak_round_messages(), r.peak_queue_depth()));
-            (stats, name, metric, peaks)
-        }
-        other => return Err(format!("unknown engine `{other}`")),
-    };
-    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Ok(Row {
-        family: cell.family.to_owned(),
-        n: g.n(),
-        m: g.m(),
-        algorithm: cell.algorithm.to_owned(),
-        engine: which.to_owned(),
-        threads: if which == "sim" { 1 } else { globals.threads },
-        seed: cell.seed,
-        stats,
-        wall_ms,
-        metric_name,
-        metric,
-        peak_round_messages: peaks.map(|p| p.0),
-        peak_queue_depth: peaks.map(|p| p.1),
-    })
-}
-
-fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), String> {
-    let root = &doc.root;
-    let threads = match root.int_or("threads", 0) {
-        0 => std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1),
-        t if t > 0 => t as usize,
-        t => return Err(format!("threads must be >= 0, got {t}")),
-    };
-    let engines: Vec<&'static str> = match root.str_or("engine", "parallel") {
-        "parallel" => vec!["parallel"],
-        "sim" => vec!["sim"],
-        "both" => vec!["sim", "parallel"],
-        other => return Err(format!("engine must be parallel|sim|both, got `{other}`")),
-    };
-    let globals = Globals {
-        threads,
-        cap: root.int_or("cap", 1).max(1) as usize,
-        record: root.bool_or("record_metrics", false),
-        engines,
-        base_seed: root.int_or("seed", 1) as u64,
-    };
-
-    let runs = doc.table_arrays.get("run").cloned().unwrap_or_default();
-    if runs.is_empty() {
-        return Err("config has no [[run]] sections".to_owned());
-    }
-    for (ri, run) in runs.iter().enumerate() {
-        sweep_run(&globals, ri, run, out)?;
-    }
-    Ok(())
-}
-
-fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> Result<(), String> {
-    let family = run.str_or("family", "erdos-renyi").to_owned();
-    let sizes = run.ints("sizes");
-    if sizes.is_empty() {
-        return Err(format!("[[run]] #{ri}: `sizes` is required"));
-    }
-    let algorithms = {
-        let a = run.strs("algorithms");
-        if a.is_empty() {
-            vec!["bfs".to_owned()]
-        } else {
-            a
-        }
-    };
-    let seeds = {
-        let s = run.ints("seeds");
-        if s.is_empty() {
-            vec![globals.base_seed]
-        } else {
-            s.into_iter().map(|x| x as u64).collect()
-        }
-    };
-    let eps = run.f64_or("eps", 0.5);
-    let k = run.int_or("k", 2).max(1) as usize;
-    let max_w = run.int_or("max_w", 100).max(1) as u64;
-
-    for &size in &sizes {
-        let n = size.max(1) as usize;
-        for &seed in &seeds {
-            let g = build_graph(&family, n, max_w, seed)?;
-            for algorithm in &algorithms {
-                let cell = Cell {
-                    family: &family,
-                    algorithm,
-                    eps,
-                    k,
-                    seed,
-                };
-                let mut seen: Option<RunStats> = None;
-                for which in &globals.engines {
-                    let row = run_cell(globals, &g, which, &cell)?;
-                    let stats = row.stats;
-                    writeln!(out, "{}", row.to_json()).map_err(|e| e.to_string())?;
-                    if let Some(prev) = seen {
-                        if prev != stats {
-                            return Err(format!(
-                                "DETERMINISM VIOLATION: {family} n={n} {algorithm} seed={seed}: \
-                                 sim {prev:?} != parallel {stats:?}"
-                            ));
-                        }
-                    }
-                    seen = Some(stats);
-                }
-            }
-        }
-    }
-    Ok(())
-}
+use engine::config;
+use engine::scenario::{run_sweep, DEFAULT_CONFIG};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -10,10 +10,13 @@
 //! order are preserved exactly (see [`engine`](self) module docs for
 //! the argument, and `tests/equivalence.rs` for the property tests).
 //!
-//! On top of the engine, the `scenario` binary (`src/bin/scenario.rs`)
-//! sweeps graph family × size × algorithm from a TOML config and emits
-//! JSON result rows — the harness for workloads (10⁵⁺ nodes) that the
-//! micro-bench crate does not reach.
+//! On top of the engine, the [`scenario`] module (exposed by the
+//! `scenario` binary in `src/bin/scenario.rs`) sweeps graph family ×
+//! size × algorithm from a TOML config and emits JSONL or CSV result
+//! rows — the harness for workloads (10⁵⁺ nodes, up to million-node
+//! geometric instances) that the micro-bench crate does not reach.
+//! Every algorithm in the repository is reachable from a sweep; see
+//! [`scenario::ALGORITHMS`].
 //!
 //! ```
 //! use congest::{Executor, Simulator};
@@ -31,6 +34,7 @@
 pub mod config;
 pub mod csr;
 pub mod report;
+pub mod scenario;
 
 mod engine;
 

@@ -1,0 +1,433 @@
+//! Scenario sweeps as a library: graph family × size × algorithm on
+//! the parallel engine and/or the sequential simulator.
+//!
+//! The `scenario` binary (`src/bin/scenario.rs`) is a thin CLI over
+//! this module; tests drive the same code in-process (see
+//! `tests/golden.rs`), which is what pins the output schema.
+//!
+//! Every algorithm the repository implements is reachable from a
+//! config: `bfs`, `mst`, `slt`, `spanner`, `euler`, `nets`,
+//! `doubling`, `bellman`, `landmark`. Each completed
+//! `(family, n, algorithm, engine, seed)` cell emits one row, either as
+//! a JSON object per line (JSONL, the default) or as a CSV row behind a
+//! fixed header (`format = "csv"`). Round/message counts are
+//! engine-independent — the parallel engine is bit-identical to the
+//! simulator — so `engine = "both"` doubles as a production determinism
+//! check: the runner verifies the two engines' stats match and fails
+//! loudly otherwise.
+
+use crate::config::{self, Table};
+use crate::Engine;
+use congest::tree::build_bfs_tree;
+use congest::{Executor, RunStats, Simulator};
+use dist_mst::boruvka::distributed_mst;
+use dist_mst::euler::distributed_euler_tour;
+use dist_sssp::bellman::bellman_ford;
+use dist_sssp::landmark::{approx_spt, SptConfig};
+use lightgraph::{generators, Graph, Weight};
+use lightnet::nets::net;
+use lightnet::{doubling_spanner, light_spanner, shallow_light_tree};
+use std::io::Write;
+use std::time::Instant;
+
+/// The built-in default sweep (`scenario` with no arguments).
+pub const DEFAULT_CONFIG: &str = r#"# Built-in default sweep (see crates/engine/scenarios/ for more).
+seed = 1
+threads = 0          # 0 = use every core
+engine = "parallel"  # "parallel" | "sim" | "both"
+format = "jsonl"     # "jsonl" | "csv"
+cap = 1
+record_metrics = true
+
+[[run]]
+family = "erdos-renyi"
+sizes = [1000, 10000]
+algorithms = ["bfs", "mst"]
+
+[[run]]
+family = "grid"
+sizes = [2500]
+algorithms = ["bfs", "slt"]
+eps = 0.5
+"#;
+
+/// Every algorithm name accepted in a `[[run]]` `algorithms` list.
+pub const ALGORITHMS: [&str; 9] = [
+    "bfs", "mst", "slt", "spanner", "euler", "nets", "doubling", "bellman", "landmark",
+];
+
+/// Output serialization of the result rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// One JSON object per line (the default).
+    Jsonl,
+    /// One CSV row per cell behind [`Row::CSV_HEADER`].
+    Csv,
+}
+
+/// One result cell.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Graph family name.
+    pub family: String,
+    /// Vertices.
+    pub n: usize,
+    /// Edges.
+    pub m: usize,
+    /// Algorithm name (see [`ALGORITHMS`]).
+    pub algorithm: String,
+    /// Engine that produced the row (`sim` or `parallel`).
+    pub engine: String,
+    /// Worker threads (1 for `sim`).
+    pub threads: usize,
+    /// Instance seed.
+    pub seed: u64,
+    /// Rounds/messages of the run.
+    pub stats: RunStats,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Algorithm-specific headline number, e.g. BFS height, MST weight.
+    pub metric_name: &'static str,
+    /// Value of the headline metric.
+    pub metric: u64,
+    /// Engine instrumentation, when recorded.
+    pub peak_round_messages: Option<u64>,
+    /// Engine instrumentation, when recorded.
+    pub peak_queue_depth: Option<u64>,
+}
+
+impl Row {
+    /// The fixed CSV column order; every row serializes exactly these
+    /// fields (empty cells where instrumentation was not recorded).
+    pub const CSV_HEADER: &'static str = "family,n,m,algorithm,engine,threads,seed,rounds,\
+                                          messages,wall_ms,metric_name,metric,\
+                                          peak_round_messages,peak_queue_depth";
+
+    /// JSONL serialization. Field order is stable; the headline metric
+    /// appears under its algorithm-specific name (e.g. `"height"`).
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"family\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"engine\":\"{}\",\
+             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\"wall_ms\":{:.3},\
+             \"{}\":{}",
+            self.family,
+            self.n,
+            self.m,
+            self.algorithm,
+            self.engine,
+            self.threads,
+            self.seed,
+            self.stats.rounds,
+            self.stats.messages,
+            self.wall_ms,
+            self.metric_name,
+            self.metric,
+        );
+        if let Some(p) = self.peak_round_messages {
+            s.push_str(&format!(",\"peak_round_messages\":{p}"));
+        }
+        if let Some(d) = self.peak_queue_depth {
+            s.push_str(&format!(",\"peak_queue_depth\":{d}"));
+        }
+        s.push('}');
+        s
+    }
+
+    /// CSV serialization in [`Row::CSV_HEADER`] order.
+    pub fn to_csv(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+            self.family,
+            self.n,
+            self.m,
+            self.algorithm,
+            self.engine,
+            self.threads,
+            self.seed,
+            self.stats.rounds,
+            self.stats.messages,
+            self.wall_ms,
+            self.metric_name,
+            self.metric,
+            self.peak_round_messages
+                .map(|p| p.to_string())
+                .unwrap_or_default(),
+            self.peak_queue_depth
+                .map(|d| d.to_string())
+                .unwrap_or_default(),
+        )
+    }
+}
+
+/// Instantiates a family at size `n`. The geometric family uses the
+/// grid-bucketed `O(n log n)` generator, so sizes are uncapped —
+/// million-node instances are fine (see `scenarios/geometric_1m.toml`).
+pub fn build_graph(family: &str, n: usize, max_w: Weight, seed: u64) -> Result<Graph, String> {
+    match family {
+        "erdos-renyi" => {
+            let p = (8.0 / n.max(2) as f64).min(1.0);
+            Ok(generators::gnp_sparse(n, p, max_w, seed))
+        }
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            Ok(generators::grid(side.max(1), side.max(1), max_w, seed))
+        }
+        "tree-chords" => Ok(generators::tree_plus_chords(n, n / 2, max_w, seed)),
+        "geometric" => {
+            let r = (8.0 / (std::f64::consts::PI * n.max(1) as f64)).sqrt();
+            Ok(generators::random_geometric(n, r, seed))
+        }
+        other => Err(format!(
+            "unknown family `{other}` (expected erdos-renyi, grid, tree-chords, geometric)"
+        )),
+    }
+}
+
+/// Per-cell algorithm parameters, parsed from a `[[run]]` table.
+#[derive(Debug, Clone, Copy)]
+pub struct AlgoParams {
+    /// `eps` — SLT/spanner/doubling approximation parameter.
+    pub eps: f64,
+    /// `k` — spanner stretch parameter.
+    pub k: usize,
+    /// `net_delta` — the net scale ∆; 0 selects `max_weight / 4`.
+    pub net_delta: Weight,
+    /// `net_slack` — the net's δ slack.
+    pub net_slack: f64,
+}
+
+/// Runs one algorithm on one executor; returns stats plus a headline
+/// metric. All nine [`ALGORITHMS`] dispatch through here, on either
+/// engine — the algorithms themselves are written once against
+/// `congest::Executor`.
+pub fn drive<E: Executor>(
+    exec: &mut E,
+    algorithm: &str,
+    p: &AlgoParams,
+    seed: u64,
+) -> Result<(RunStats, &'static str, u64), String> {
+    match algorithm {
+        "bfs" => {
+            let (tree, _) = build_bfs_tree(exec, 0);
+            Ok((exec.total(), "height", tree.height()))
+        }
+        "mst" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let m = distributed_mst(exec, &tau, 0, seed);
+            Ok((exec.total(), "weight", m.weight))
+        }
+        "slt" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let slt = shallow_light_tree(exec, &tau, 0, p.eps, seed);
+            Ok((exec.total(), "breakpoints", slt.breakpoints as u64))
+        }
+        "spanner" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let sp = light_spanner(exec, &tau, 0, p.k, p.eps, seed);
+            Ok((exec.total(), "edges", sp.edges.len() as u64))
+        }
+        "euler" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let m = distributed_mst(exec, &tau, 0, seed);
+            let tour = distributed_euler_tour(exec, &tau, &m, 0);
+            Ok((exec.total(), "tour_length", tour.total_length))
+        }
+        "nets" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let big_delta = if p.net_delta > 0 {
+                p.net_delta
+            } else {
+                (exec.graph().max_weight() / 4).max(1)
+            };
+            let r = net(exec, &tau, big_delta, p.net_slack, seed);
+            Ok((exec.total(), "points", r.points.len() as u64))
+        }
+        "doubling" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let sp = doubling_spanner(exec, &tau, 0, p.eps, seed);
+            Ok((exec.total(), "edges", sp.edges.len() as u64))
+        }
+        "bellman" => {
+            let r = bellman_ford(exec, 0);
+            Ok((exec.total(), "max_dist", r.max_finite_dist()))
+        }
+        "landmark" => {
+            let (tau, _) = build_bfs_tree(exec, 0);
+            let spt = approx_spt(exec, &tau, 0, &SptConfig::new(seed));
+            Ok((exec.total(), "max_dist", spt.max_finite_dist()))
+        }
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected one of {})",
+            ALGORITHMS.join(", ")
+        )),
+    }
+}
+
+struct Globals {
+    threads: usize,
+    cap: usize,
+    record: bool,
+    engines: Vec<&'static str>,
+    base_seed: u64,
+    format: OutputFormat,
+}
+
+struct Cell<'a> {
+    family: &'a str,
+    algorithm: &'a str,
+    params: AlgoParams,
+    seed: u64,
+}
+
+fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Result<Row, String> {
+    let start = Instant::now();
+    let (stats, metric_name, metric, peaks) = match which {
+        "sim" => {
+            let mut sim = Simulator::new(g);
+            Executor::set_cap(&mut sim, globals.cap);
+            let (stats, name, metric) = drive(&mut sim, cell.algorithm, &cell.params, cell.seed)?;
+            (stats, name, metric, None)
+        }
+        "parallel" => {
+            let mut eng = Engine::with_threads(g, globals.threads);
+            Executor::set_cap(&mut eng, globals.cap);
+            eng.set_record_metrics(globals.record);
+            let (stats, name, metric) = drive(&mut eng, cell.algorithm, &cell.params, cell.seed)?;
+            let peaks = eng
+                .last_report()
+                .map(|r| (r.peak_round_messages(), r.peak_queue_depth()));
+            (stats, name, metric, peaks)
+        }
+        other => return Err(format!("unknown engine `{other}`")),
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Ok(Row {
+        family: cell.family.to_owned(),
+        n: g.n(),
+        m: g.m(),
+        algorithm: cell.algorithm.to_owned(),
+        engine: which.to_owned(),
+        threads: if which == "sim" { 1 } else { globals.threads },
+        seed: cell.seed,
+        stats,
+        wall_ms,
+        metric_name,
+        metric,
+        peak_round_messages: peaks.map(|p| p.0),
+        peak_queue_depth: peaks.map(|p| p.1),
+    })
+}
+
+/// Runs every `[[run]]` sweep of a parsed config, writing rows to
+/// `out` in the config's `format`.
+///
+/// # Errors
+/// Returns a message on unknown families/algorithms/engines, missing
+/// required keys, I/O failures, or a sim/parallel determinism mismatch.
+pub fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), String> {
+    let root = &doc.root;
+    let threads = match root.int_or("threads", 0) {
+        0 => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
+        t if t > 0 => t as usize,
+        t => return Err(format!("threads must be >= 0, got {t}")),
+    };
+    let engines: Vec<&'static str> = match root.str_or("engine", "parallel") {
+        "parallel" => vec!["parallel"],
+        "sim" => vec!["sim"],
+        "both" => vec!["sim", "parallel"],
+        other => return Err(format!("engine must be parallel|sim|both, got `{other}`")),
+    };
+    let format = match root.str_or("format", "jsonl") {
+        "jsonl" => OutputFormat::Jsonl,
+        "csv" => OutputFormat::Csv,
+        other => return Err(format!("format must be jsonl|csv, got `{other}`")),
+    };
+    let globals = Globals {
+        threads,
+        cap: root.int_or("cap", 1).max(1) as usize,
+        record: root.bool_or("record_metrics", false),
+        engines,
+        base_seed: root.int_or("seed", 1) as u64,
+        format,
+    };
+    if format == OutputFormat::Csv {
+        writeln!(out, "{}", Row::CSV_HEADER).map_err(|e| e.to_string())?;
+    }
+
+    let runs = doc.table_arrays.get("run").cloned().unwrap_or_default();
+    if runs.is_empty() {
+        return Err("config has no [[run]] sections".to_owned());
+    }
+    for (ri, run) in runs.iter().enumerate() {
+        sweep_run(&globals, ri, run, out)?;
+    }
+    Ok(())
+}
+
+fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> Result<(), String> {
+    let family = run.str_or("family", "erdos-renyi").to_owned();
+    let sizes = run.ints("sizes");
+    if sizes.is_empty() {
+        return Err(format!("[[run]] #{ri}: `sizes` is required"));
+    }
+    let algorithms = {
+        let a = run.strs("algorithms");
+        if a.is_empty() {
+            vec!["bfs".to_owned()]
+        } else {
+            a
+        }
+    };
+    let seeds = {
+        let s = run.ints("seeds");
+        if s.is_empty() {
+            vec![globals.base_seed]
+        } else {
+            s.into_iter().map(|x| x as u64).collect()
+        }
+    };
+    let params = AlgoParams {
+        eps: run.f64_or("eps", 0.5),
+        k: run.int_or("k", 2).max(1) as usize,
+        net_delta: run.int_or("net_delta", 0).max(0) as Weight,
+        net_slack: run.f64_or("net_slack", 0.5),
+    };
+    let max_w = run.int_or("max_w", 100).max(1) as u64;
+
+    for &size in &sizes {
+        let n = size.max(1) as usize;
+        for &seed in &seeds {
+            let g = build_graph(&family, n, max_w, seed)?;
+            for algorithm in &algorithms {
+                let cell = Cell {
+                    family: &family,
+                    algorithm,
+                    params,
+                    seed,
+                };
+                let mut seen: Option<RunStats> = None;
+                for which in &globals.engines {
+                    let row = run_cell(globals, &g, which, &cell)?;
+                    let stats = row.stats;
+                    let line = match globals.format {
+                        OutputFormat::Jsonl => row.to_json(),
+                        OutputFormat::Csv => row.to_csv(),
+                    };
+                    writeln!(out, "{line}").map_err(|e| e.to_string())?;
+                    if let Some(prev) = seen {
+                        if prev != stats {
+                            return Err(format!(
+                                "DETERMINISM VIOLATION: {family} n={n} {algorithm} seed={seed}: \
+                                 sim {prev:?} != parallel {stats:?}"
+                            ));
+                        }
+                    }
+                    seen = Some(stats);
+                }
+            }
+        }
+    }
+    Ok(())
+}

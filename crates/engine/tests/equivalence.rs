@@ -2,19 +2,38 @@
 //! sequential simulator.
 //!
 //! For random Erdős–Rényi and doubling-metric (random geometric)
-//! instances, every algorithm here must produce *exactly* the same
-//! per-node outputs and the same `RunStats` (rounds and messages) on
-//! `congest::Simulator` and on `engine::Engine`, across thread counts.
-//! This is the determinism contract of `congest::exec` — the property
-//! that lets the engine stand in for the simulator when reproducing the
-//! paper's round counts.
+//! instances, every algorithm reachable from the `scenario` runner —
+//! BFS, collectives, MST, SLT, light spanner, Euler tour, nets,
+//! doubling spanner, Bellman–Ford, and the landmark SPT — must produce
+//! *exactly* the same per-node outputs and the same `RunStats` (rounds
+//! and messages) on `congest::Simulator` and on `engine::Engine`,
+//! across thread counts. This is the determinism contract of
+//! `congest::exec` (see the module docs there for the five clauses an
+//! engine must honor) — the property that lets the engine stand in for
+//! the simulator when reproducing the paper's round counts.
+//!
+//! Test-helper conventions (determinism-contract expectations):
+//! * every helper runs the algorithm *fresh* on each executor — a
+//!   `Simulator` once, then an `Engine` per thread count — so the
+//!   cumulative `Executor::total()` counters are comparable;
+//! * outputs are compared field-by-field (not just summary metrics):
+//!   under the contract the full per-node state must match bit-for-bit,
+//!   so any drift is a contract violation, not tolerable noise;
+//! * `RunStats` equality is asserted for the algorithm's own stats
+//!   *and* (spot-checked) the executor's cumulative totals, because the
+//!   contract covers every intermediate phase, not only the last one.
 
 use congest::collective;
 use congest::tree::build_bfs_tree;
 use congest::{Executor, Simulator};
 use dist_mst::boruvka::distributed_mst;
+use dist_mst::euler::distributed_euler_tour;
+use dist_sssp::bellman::bellman_ford;
+use dist_sssp::landmark::{approx_spt, SptConfig};
 use engine::Engine;
 use lightgraph::{generators, Graph};
+use lightnet::nets::net;
+use lightnet::{doubling_spanner, light_spanner, shallow_light_tree};
 use proptest::prelude::*;
 
 /// Random connected instances: Erdős–Rényi for general graphs and
@@ -36,6 +55,12 @@ fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
 }
 
 const THREADS: [usize; 3] = [1, 3, 6];
+
+/// Thread counts for the round-heavy composite algorithms (Euler tour,
+/// nets, doubling spanner, landmark SPT): one sequential and one
+/// sharded engine keep the suite fast while still exercising the
+/// cross-thread determinism contract.
+const THREADS_HEAVY: [usize; 2] = [1, 4];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -97,6 +122,119 @@ proptest! {
                 Executor::total(&eng).messages,
                 "cumulative messages (threads={})", threads
             );
+        }
+    }
+
+    #[test]
+    fn prop_slt_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ss = shallow_light_tree(&mut sim, &tau, 0, 0.5, seed);
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let se = shallow_light_tree(&mut eng, &tau_e, 0, 0.5, seed);
+            prop_assert_eq!(&ss.edges, &se.edges, "tree edges (threads={})", threads);
+            prop_assert_eq!(ss.breakpoints, se.breakpoints, "breakpoints (threads={})", threads);
+            prop_assert_eq!(ss.stats, se.stats, "stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_light_spanner_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ss = light_spanner(&mut sim, &tau, 0, 2, 0.5, seed);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let se = light_spanner(&mut eng, &tau_e, 0, 2, 0.5, seed);
+            prop_assert_eq!(&ss.edges, &se.edges, "spanner edges (threads={})", threads);
+            prop_assert_eq!(ss.case1_buckets, se.case1_buckets, "case1 (threads={})", threads);
+            prop_assert_eq!(ss.case2_buckets, se.case2_buckets, "case2 (threads={})", threads);
+            prop_assert_eq!(ss.stats, se.stats, "stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_euler_tour_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let mst_s = distributed_mst(&mut sim, &tau, 0, seed);
+        let ts = distributed_euler_tour(&mut sim, &tau, &mst_s, 0);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let mst_e = distributed_mst(&mut eng, &tau_e, 0, seed);
+            let te = distributed_euler_tour(&mut eng, &tau_e, &mst_e, 0);
+            prop_assert_eq!(&ts.appearances, &te.appearances, "appearances (threads={})", threads);
+            prop_assert_eq!(ts.total_length, te.total_length, "tour length (threads={})", threads);
+            prop_assert_eq!(ts.stats, te.stats, "stats (threads={})", threads);
+            prop_assert_eq!(
+                Executor::total(&sim),
+                Executor::total(&eng),
+                "cumulative totals (threads={})", threads
+            );
+        }
+    }
+
+    #[test]
+    fn prop_nets_identical((g, seed) in arb_graph()) {
+        let delta = (g.max_weight() / 4).max(1);
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ns = net(&mut sim, &tau, delta, 0.5, seed);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let ne = net(&mut eng, &tau_e, delta, 0.5, seed);
+            prop_assert_eq!(&ns.points, &ne.points, "net points (threads={})", threads);
+            prop_assert_eq!(ns.iterations, ne.iterations, "iterations (threads={})", threads);
+            prop_assert_eq!(ns.stats, ne.stats, "stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_doubling_spanner_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ds = doubling_spanner(&mut sim, &tau, 0, 0.5, seed);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let de = doubling_spanner(&mut eng, &tau_e, 0, 0.5, seed);
+            prop_assert_eq!(&ds.edges, &de.edges, "spanner edges (threads={})", threads);
+            prop_assert_eq!(ds.scales, de.scales, "scales (threads={})", threads);
+            prop_assert_eq!(ds.stats, de.stats, "stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_bellman_ford_identical((g, _seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let rs = bellman_ford(&mut sim, 0);
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let re = bellman_ford(&mut eng, 0);
+            prop_assert_eq!(&rs.dist, &re.dist, "distances (threads={})", threads);
+            prop_assert_eq!(&rs.parent, &re.parent, "parents (threads={})", threads);
+            prop_assert_eq!(rs.stats, re.stats, "stats (threads={})", threads);
+        }
+    }
+
+    #[test]
+    fn prop_landmark_spt_identical((g, seed) in arb_graph()) {
+        let cfg = SptConfig::new(seed);
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ss = approx_spt(&mut sim, &tau, 0, &cfg);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let se = approx_spt(&mut eng, &tau_e, 0, &cfg);
+            prop_assert_eq!(&ss.dist, &se.dist, "estimates (threads={})", threads);
+            prop_assert_eq!(&ss.parent, &se.parent, "parents (threads={})", threads);
+            prop_assert_eq!(ss.stats, se.stats, "stats (threads={})", threads);
         }
     }
 

@@ -1,0 +1,52 @@
+//! Large-n scaling smoke: 100k-node geometric BFS through the
+//! grid-bucketed generator and the parallel engine.
+//!
+//! `#[ignore]`d so `cargo test` stays fast; the CI `large-smoke` job
+//! (nightly-style schedule) runs it with `--include-ignored` so a
+//! regression in generator complexity or engine scaling fails fast
+//! instead of silently pushing sweeps from seconds back to hours.
+
+use congest::tree::build_bfs_tree;
+use engine::Engine;
+use lightgraph::generators;
+use std::time::Instant;
+
+#[test]
+#[ignore = "large-n smoke (100k geometric BFS); nightly CI runs it with --include-ignored"]
+fn geometric_100k_bfs_scales() {
+    let n = 100_000;
+    let radius = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+
+    let gen_start = Instant::now();
+    let g = generators::random_geometric(n, radius, 1);
+    let gen_s = gen_start.elapsed().as_secs_f64();
+    assert_eq!(g.n(), n);
+    assert!(g.is_connected(), "generator must stitch components");
+    // Expected degree ≈ 8 → m ≈ 4n; a loose band catches bucketing bugs
+    // (missed neighbor cells halve m, double-counting doubles it).
+    assert!(
+        (3 * n..6 * n).contains(&g.m()),
+        "implausible edge count {} for degree-8 radius",
+        g.m()
+    );
+    // The O(n²) generator needed ~10¹⁰ distance checks here (minutes);
+    // the grid-bucketed one is comfortably under a minute even on one
+    // slow core. Generous bound so CI hardware jitter never flakes.
+    assert!(
+        gen_s < 60.0,
+        "generation took {gen_s:.1}s — complexity regression?"
+    );
+
+    let mut eng = Engine::with_threads(&g, 4);
+    let (tree, stats) = build_bfs_tree(&mut eng, 0);
+    assert_eq!(
+        tree.parent.iter().filter(|p| p.is_none()).count(),
+        1,
+        "BFS tree spans the graph with a single root"
+    );
+    assert!(tree.height() > 0 && stats.rounds > 0);
+    assert!(
+        stats.messages > g.m() as u64,
+        "BFS floods every edge at least once"
+    );
+}

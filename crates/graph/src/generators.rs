@@ -5,6 +5,7 @@
 //! and uses integer weights in `[1, max_w]` (§2: minimum weight 1,
 //! maximum poly(n)).
 
+use crate::union_find::UnionFind;
 use crate::{Graph, NodeId, Weight};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -164,54 +165,308 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     graph_from_points(&pts, radius)
 }
 
-/// Builds the geometric graph for an explicit point set (used by the
-/// doubling-dimension tests to construct low- and high-dimension inputs).
+/// Euclidean distance between two points.
+fn geo_dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt()
+}
+
+/// Scaled integral weight of a geometric edge.
+fn geo_weight(d: f64) -> Weight {
+    ((d * GEO_SCALE).round() as u64).max(1)
+}
+
+/// The canonical stitch-edge comparison order `(d, u, v)`: a *strict*
+/// total order on candidate edges (no two edges share `(u, v)`), so the
+/// component-stitching MST is unique and every correct MST algorithm —
+/// the reference's Kruskal and the grid version's Borůvka — returns the
+/// same edge set, ties (e.g. coincident points) included.
+fn stitch_cmp(a: &(f64, NodeId, NodeId), b: &(f64, NodeId, NodeId)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+}
+
+/// Buckets points into a square grid of `cell`-sized cells.
+fn bucket_points(
+    pts: &[(f64, f64)],
+    cell: f64,
+) -> std::collections::HashMap<(i64, i64), Vec<NodeId>> {
+    let mut cells: std::collections::HashMap<(i64, i64), Vec<NodeId>> =
+        std::collections::HashMap::new();
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        // `as i64` saturates on overflow/NaN, which preserves adjacency:
+        // two points within `cell` of each other always land in the same
+        // or neighboring (possibly both-saturated) cells.
+        let key = ((x / cell).floor() as i64, (y / cell).floor() as i64);
+        cells.entry(key).or_default().push(i);
+    }
+    cells
+}
+
+/// A positive, finite grid cell size for the radius pass. Degenerate
+/// radii (`<= 0`, infinite, NaN) only have to keep coincident points in
+/// a shared cell (radius 0) or nothing at all, so any sane constant
+/// works; the per-pair `d <= radius` test does the real filtering.
+fn radius_cell(pts: &[(f64, f64)], radius: f64) -> f64 {
+    if radius > 0.0 && radius.is_finite() {
+        radius
+    } else if radius == f64::INFINITY {
+        // complete graph: one cell must hold every point
+        point_span(pts).max(1.0) * 2.0
+    } else {
+        1.0
+    }
+}
+
+/// Side length of the points' bounding square (0 if fewer than 2 points).
+fn point_span(pts: &[(f64, f64)]) -> f64 {
+    let mut min = (f64::INFINITY, f64::INFINITY);
+    let mut max = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in pts {
+        min = (min.0.min(x), min.1.min(y));
+        max = (max.0.max(x), max.1.max(y));
+    }
+    if pts.is_empty() {
+        0.0
+    } else {
+        (max.0 - min.0).max(max.1 - min.1)
+    }
+}
+
+/// Builds the geometric graph for an explicit point set in
+/// `O(n log n + m)` expected time via grid bucketing: points are hashed
+/// into `radius`-sized cells and only the 3×3 cell neighborhood of each
+/// point is scanned, so the all-pairs loop of
+/// [`graph_from_points_reference`] is never materialized. Disconnected
+/// radius graphs are stitched by a cell-aware Borůvka nearest-neighbor
+/// pass instead of the reference's `O(n²)` Kruskal.
+///
+/// The output is *identical* to [`graph_from_points_reference`] —
+/// same edge list, same insertion order, same weights — which the
+/// property tests in `tests/geometric_equivalence.rs` lock down:
+///
+/// 1. every pair within Euclidean distance `radius` becomes an edge,
+///    inserted in `(u, v)` lexicographic order, weight = scaled
+///    distance ([`GEO_SCALE`], minimum 1);
+/// 2. if the radius graph is disconnected, the unique MST of the
+///    component contraction under the strict `(d, u, v)` order is
+///    appended, also in `(u, v)` lexicographic order — the graph is
+///    always connected and still metric.
 pub fn graph_from_points(pts: &[(f64, f64)], radius: f64) -> Graph {
     let n = pts.len();
-    let dist = |a: (f64, f64), b: (f64, f64)| ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
-    let to_weight = |d: f64| -> Weight { ((d * GEO_SCALE).round() as u64).max(1) };
     let mut g = Graph::new(n);
-    let mut present = std::collections::HashSet::new();
-    for u in 0..n {
-        for v in (u + 1)..n {
-            let d = dist(pts[u], pts[v]);
-            if d <= radius {
-                present.insert((u, v));
-                g.add_edge(u, v, to_weight(d)).expect("valid edge");
-            }
-        }
+    if n == 0 {
+        return g;
     }
-    if !g.is_connected() && n > 1 {
-        // Euclidean MST via Prim to stitch components while keeping the
-        // graph metric.
-        let mut in_tree = vec![false; n];
-        let mut best = vec![(f64::INFINITY, 0usize); n];
-        in_tree[0] = true;
-        for v in 1..n {
-            best[v] = (dist(pts[0], pts[v]), 0);
-        }
-        for _ in 1..n {
-            let u = (0..n)
-                .filter(|&v| !in_tree[v])
-                .min_by(|&a, &b| best[a].0.partial_cmp(&best[b].0).expect("finite"))
-                .expect("some vertex outside tree");
-            in_tree[u] = true;
-            let (d, p) = best[u];
-            let key = (u.min(p), u.max(p));
-            if present.insert(key) {
-                g.add_edge(u, p, to_weight(d)).expect("valid edge");
+    let cell = radius_cell(pts, radius);
+    let cells = bucket_points(pts, cell);
+    let mut uf = UnionFind::new(n);
+    let mut nbrs: Vec<(NodeId, Weight)> = Vec::new();
+    for u in 0..n {
+        let (x, y) = pts[u];
+        let (cx, cy) = ((x / cell).floor() as i64, (y / cell).floor() as i64);
+        nbrs.clear();
+        // Saturated keys (subnormal `cell` sizes overflow the i64 cast)
+        // can alias several of the 9 neighbor offsets to one cell; dedup
+        // so aliased cells are scanned once, never inserting duplicate
+        // parallel edges.
+        let mut keys: Vec<(i64, i64)> = Vec::with_capacity(9);
+        for dx in -1..=1i64 {
+            for dy in -1..=1i64 {
+                keys.push((cx.saturating_add(dx), cy.saturating_add(dy)));
             }
-            for v in 0..n {
-                if !in_tree[v] {
-                    let dv = dist(pts[u], pts[v]);
-                    if dv < best[v].0 {
-                        best[v] = (dv, u);
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for key in keys {
+            let Some(members) = cells.get(&key) else {
+                continue;
+            };
+            for &v in members {
+                if v > u {
+                    let d = geo_dist(pts[u], pts[v]);
+                    if d <= radius {
+                        nbrs.push((v, geo_weight(d)));
                     }
                 }
             }
         }
+        nbrs.sort_unstable();
+        for &(v, w) in &nbrs {
+            g.add_edge(u, v, w).expect("valid edge");
+            uf.union(u, v);
+        }
+    }
+    for (u, v, d) in grid_stitch(pts, radius, &mut uf) {
+        g.add_edge(u, v, geo_weight(d)).expect("valid edge");
     }
     g
+}
+
+/// The retained `O(n²)` all-pairs reference for [`graph_from_points`]:
+/// same canonical output (see there), built the obvious slow way — an
+/// all-pairs radius loop plus Kruskal over all cross-component pairs
+/// under the `(d, u, v)` order. Kept as the oracle for the
+/// grid-bucketing equivalence property tests and for small explicit
+/// point sets where clarity beats speed.
+pub fn graph_from_points_reference(pts: &[(f64, f64)], radius: f64) -> Graph {
+    let n = pts.len();
+    let mut g = Graph::new(n);
+    let mut uf = UnionFind::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let d = geo_dist(pts[u], pts[v]);
+            if d <= radius {
+                g.add_edge(u, v, geo_weight(d)).expect("valid edge");
+                uf.union(u, v);
+            }
+        }
+    }
+    if uf.components() > 1 {
+        let mut pairs: Vec<(f64, NodeId, NodeId)> = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !uf.connected(u, v) {
+                    pairs.push((geo_dist(pts[u], pts[v]), u, v));
+                }
+            }
+        }
+        pairs.sort_by(stitch_cmp);
+        let mut bridges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+        for (d, u, v) in pairs {
+            if uf.union(u, v) {
+                bridges.push((u, v, d));
+            }
+        }
+        bridges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        for (u, v, d) in bridges {
+            g.add_edge(u, v, geo_weight(d)).expect("valid edge");
+        }
+    }
+    g
+}
+
+/// Cells of the Chebyshev ring at distance `k` around `(cx, cy)`.
+fn ring_cells(cx: i64, cy: i64, k: i64) -> Vec<(i64, i64)> {
+    if k == 0 {
+        return vec![(cx, cy)];
+    }
+    let mut out = Vec::with_capacity(8 * k as usize);
+    for x in (cx - k)..=(cx + k) {
+        out.push((x, cy - k));
+        out.push((x, cy + k));
+    }
+    for y in (cy - k + 1)..=(cy + k - 1) {
+        out.push((cx - k, y));
+        out.push((cx + k, y));
+    }
+    out
+}
+
+/// Cell-aware Borůvka stitching: computes the unique MST of the
+/// component contraction (inter-component edge order `(d, u, v)`, see
+/// [`graph_from_points`]) without touching all `O(n²)` pairs. Each
+/// round, every component except the largest finds its minimum outgoing
+/// edge by expanding-ring nearest-foreign-neighbor searches over a
+/// density-adapted grid; by the cut property under a strict total order
+/// every selected edge belongs to the unique contraction MST, and the
+/// component count at least halves per round. Returns the stitch edges
+/// as `(u, v, d)` with `u < v`, sorted by `(u, v)` — the canonical
+/// insertion order.
+fn grid_stitch(pts: &[(f64, f64)], radius: f64, uf: &mut UnionFind) -> Vec<(NodeId, NodeId, f64)> {
+    let n = pts.len();
+    if uf.components() <= 1 {
+        return Vec::new();
+    }
+    // Foreign neighbors are always farther than `radius` apart (closer
+    // pairs share a component), so the stitch grid can be coarser than
+    // the radius grid: aim for O(1) points per cell.
+    let mut s = point_span(pts) / (n as f64).sqrt();
+    if radius.is_finite() && radius > s {
+        s = radius;
+    }
+    if s.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !s.is_finite() {
+        s = 1.0;
+    }
+    let cells = bucket_points(pts, s);
+    let key_of = |p: (f64, f64)| ((p.0 / s).floor() as i64, (p.1 / s).floor() as i64);
+    // Ring searches never need to leave the occupied bounding box.
+    let max_ring = {
+        let xs: Vec<i64> = cells.keys().map(|&(x, _)| x).collect();
+        let ys: Vec<i64> = cells.keys().map(|&(_, y)| y).collect();
+        let span_x = xs.iter().max().unwrap() - xs.iter().min().unwrap();
+        let span_y = ys.iter().max().unwrap() - ys.iter().min().unwrap();
+        span_x.max(span_y) + 1
+    };
+
+    let mut bridges: Vec<(NodeId, NodeId, f64)> = Vec::new();
+    while uf.components() > 1 {
+        // Group vertices by component; the largest component stays
+        // passive (its edge will be chosen by a neighbor), which keeps
+        // giant-component interior points from running expensive
+        // searches.
+        let mut groups: std::collections::HashMap<usize, Vec<NodeId>> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            let r = uf.find(v);
+            groups.entry(r).or_default().push(v);
+        }
+        let giant = *groups
+            .iter()
+            .map(|(r, members)| (members.len(), std::cmp::Reverse(members[0]), r))
+            .max()
+            .expect("at least two components")
+            .2;
+        let mut roots: Vec<usize> = groups.keys().copied().filter(|&r| r != giant).collect();
+        roots.sort_unstable();
+
+        // Minimum outgoing edge per active component under (d, u, v).
+        let mut best: std::collections::HashMap<usize, (f64, NodeId, NodeId)> =
+            std::collections::HashMap::new();
+        for &root in &roots {
+            for &u in &groups[&root] {
+                let (cx, cy) = key_of(pts[u]);
+                let mut k = 0i64;
+                loop {
+                    let bound = best.get(&root).map(|b| b.0).unwrap_or(f64::INFINITY);
+                    // Any point in a ring-k cell is at Euclidean
+                    // distance >= (k-1)*s from u.
+                    if k > max_ring || (k - 1) as f64 * s > bound {
+                        break;
+                    }
+                    for (x, y) in ring_cells(cx, cy, k) {
+                        let Some(members) = cells.get(&(x, y)) else {
+                            continue;
+                        };
+                        for &p in members {
+                            if uf.find(p) == root {
+                                continue;
+                            }
+                            let cand = (geo_dist(pts[u], pts[p]), u.min(p), u.max(p));
+                            let better = best
+                                .get(&root)
+                                .map(|b| stitch_cmp(&cand, b) == std::cmp::Ordering::Less)
+                                .unwrap_or(true);
+                            if better {
+                                best.insert(root, cand);
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        }
+        let mut chosen: Vec<(f64, NodeId, NodeId)> = best.into_values().collect();
+        chosen.sort_by(stitch_cmp);
+        for (d, u, v) in chosen {
+            // Two components can only pick the same edge (their shared
+            // cut minimum); a failed union is that duplicate, not a
+            // conflict.
+            if uf.union(u, v) {
+                bridges.push((u, v, d));
+            }
+        }
+    }
+    bridges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+    bridges
 }
 
 /// `rows x cols` grid with uniform random weights in `[1, max_w]`.

@@ -1,0 +1,132 @@
+//! Property tests: the grid-bucketed geometric generator is
+//! *identical* — same edge list, same insertion order, same weights —
+//! to the retained `O(n²)` all-pairs reference.
+//!
+//! This is the test wall behind the scenario runner's uncapped
+//! geometric sweeps: `generators::graph_from_points` may only replace
+//! the reference because every output it produces is bit-identical to
+//! `generators::graph_from_points_reference`, including the degenerate
+//! regimes (coincident points, radius `0+ε`, all-isolated point sets)
+//! where MST tie-breaking would otherwise diverge.
+
+use lightgraph::generators::{graph_from_points, graph_from_points_reference};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random point sets across the interesting radius regimes.
+///
+/// `kind` picks a regime:
+/// 0 — radius 0 (only coincident pairs are edges),
+/// 1 — radius 0+ε (all-isolated: stitching does all the work),
+/// 2 — sub-critical radius (many components),
+/// 3 — the degree-≈8 radius the scenario runner uses,
+/// 4 — super-critical radius (one giant component),
+/// 5 — radius ≥ diameter (complete graph).
+fn arb_points() -> impl Strategy<Value = (Vec<(f64, f64)>, f64)> {
+    (0usize..=500, 0u64..10_000, 0u64..6, 0usize..4).prop_map(|(n, seed, kind, dup_kind)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        // Coincident points: duplicate a random prefix-sized sample so
+        // zero-distance pairs (and their weight floor of 1) are common.
+        if dup_kind > 0 && n >= 2 {
+            let dups = n / (dup_kind * 4);
+            for _ in 0..dups {
+                let src = rng.gen_range(0..pts.len());
+                let dst = rng.gen_range(0..pts.len());
+                pts[dst] = pts[src];
+            }
+        }
+        let radius = match kind {
+            0 => 0.0,
+            1 => 1e-12,
+            2 => 0.02,
+            3 => (8.0 / (std::f64::consts::PI * n.max(1) as f64)).sqrt(),
+            4 => 0.3,
+            _ => 2.0,
+        };
+        (pts, radius)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn prop_grid_generator_identical_to_reference((pts, radius) in arb_points()) {
+        let fast = graph_from_points(&pts, radius);
+        let slow = graph_from_points_reference(&pts, radius);
+        prop_assert_eq!(fast.n(), slow.n());
+        prop_assert_eq!(fast.m(), slow.m(), "edge count (radius={})", radius);
+        // Edge-by-edge equality covers the edge *set*, the canonical
+        // insertion order (edge ids), and every weight.
+        prop_assert_eq!(fast.edges(), slow.edges(), "edge list (radius={})", radius);
+        if pts.len() > 1 {
+            prop_assert!(fast.is_connected(), "stitching must connect the graph");
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_point_sets() {
+    assert_eq!(graph_from_points(&[], 0.5).n(), 0);
+    assert_eq!(graph_from_points(&[(0.3, 0.7)], 0.5).m(), 0);
+    assert_eq!(graph_from_points_reference(&[(0.3, 0.7)], 0.5).m(), 0);
+}
+
+#[test]
+fn all_coincident_points_radius_zero() {
+    // Every pair is at distance 0 ≤ 0: a complete graph of weight-1
+    // edges, identically ordered in both implementations.
+    let pts = vec![(0.25, 0.5); 9];
+    let fast = graph_from_points(&pts, 0.0);
+    let slow = graph_from_points_reference(&pts, 0.0);
+    assert_eq!(fast.m(), 9 * 8 / 2);
+    assert_eq!(fast.edges(), slow.edges());
+    assert!(fast.edges().iter().all(|e| e.w == 1));
+}
+
+#[test]
+fn all_isolated_points_are_stitched_identically() {
+    // Radius far below the minimum pairwise distance: the radius pass
+    // contributes nothing and the entire graph is the stitch MST.
+    let mut rng = StdRng::seed_from_u64(99);
+    let pts: Vec<(f64, f64)> = (0..120)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    let fast = graph_from_points(&pts, 1e-9);
+    let slow = graph_from_points_reference(&pts, 1e-9);
+    assert_eq!(fast.m(), pts.len() - 1, "stitch MST is a spanning tree");
+    assert_eq!(fast.edges(), slow.edges());
+    assert!(fast.is_connected());
+}
+
+#[test]
+fn subnormal_radius_saturates_cell_keys_without_duplicate_edges() {
+    // With cell size 1e-300 the x/cell division overflows the i64 cast
+    // and every cell key saturates to i64::MAX, aliasing the whole 3×3
+    // neighborhood to one cell; the scan must still visit each cell
+    // once or coincident pairs turn into duplicate parallel edges.
+    let pts = vec![(0.5, 0.5), (0.5, 0.5), (0.9, 0.1)];
+    let fast = graph_from_points(&pts, 1e-300);
+    let slow = graph_from_points_reference(&pts, 1e-300);
+    assert_eq!(fast.m(), 2, "one coincident pair + one stitch edge");
+    assert_eq!(fast.edges(), slow.edges());
+}
+
+#[test]
+fn negative_and_infinite_radius_degenerate_cases() {
+    let pts = vec![(0.1, 0.1), (0.9, 0.9), (0.5, 0.2)];
+    // Negative radius: no radius edges at all, stitch MST only.
+    let fast = graph_from_points(&pts, -1.0);
+    let slow = graph_from_points_reference(&pts, -1.0);
+    assert_eq!(fast.edges(), slow.edges());
+    assert_eq!(fast.m(), 2);
+    // Infinite radius: the complete graph.
+    let fast = graph_from_points(&pts, f64::INFINITY);
+    let slow = graph_from_points_reference(&pts, f64::INFINITY);
+    assert_eq!(fast.edges(), slow.edges());
+    assert_eq!(fast.m(), 3);
+}
