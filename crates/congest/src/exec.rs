@@ -17,14 +17,34 @@
 //! 4. A round's inbox at node `v` is ordered by edge id (and, per edge,
 //!    direction `u→v` before `v→u`), exactly matching the sequential
 //!    simulator's delivery loop.
-//! 5. Execution stops at the first round boundary where all queues are
-//!    empty and every program is quiescent; [`RunStats`] count the
-//!    delivered messages and executed rounds.
+//! 5. **Activation scheduling.** A node is *active* in round `r` iff
+//!    its round-`r` inbox is non-empty, or it reported
+//!    `is_quiescent() == false` at its previous activation boundary
+//!    (after [`Program::init`], or after its most recent
+//!    [`Program::round`] call). Engines invoke `round` exactly for the
+//!    active nodes and may skip inactive nodes entirely; messages are
+//!    still delivered on every edge with queued traffic regardless of
+//!    receiver activity (delivery is what *makes* a receiver active).
+//!    [`Program::is_quiescent`] is evaluated once per activation
+//!    boundary and cached in between — programs must be
+//!    activation-correct (see [`Program`]) for skipping to be
+//!    unobservable.
+//! 6. Execution stops at the first round boundary where all queues are
+//!    empty and every program is quiescent (equivalently: the charged
+//!    edge set and the non-quiescent carryover set are both empty);
+//!    [`RunStats`] count the delivered messages and executed rounds.
 //!
-//! Any engine honoring 1–5 produces bit-identical per-node outputs and
+//! Any engine honoring 1–6 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the
 //! parallel engine stand in for the simulator in experiments that
-//! report the paper's round counts.
+//! report the paper's round counts. Because the active set of clause 5
+//! is itself determined by delivered edges and quiescence reports, the
+//! [`FrontierStats`] bookkeeping (invocation counts, peak active set)
+//! is engine-identical too. The Simulator in this crate is the
+//! semantics oracle for frontier scheduling: its per-round active set
+//! is built from the edges that delivered this round plus the
+//! non-quiescent carryover, with inbox assembly still in ascending
+//! directed-edge-id order.
 //!
 //! **What conformance tests must check.** The contract is verified by
 //! the property suite in `crates/engine/tests/equivalence.rs`, whose
@@ -42,7 +62,7 @@
 //!   the executor totals, because clause 5 covers every intermediate
 //!   `run` invocation of a composite algorithm, not just the last.
 
-use crate::program::{Program, RunStats};
+use crate::program::{FrontierStats, Program, RunStats};
 use lightgraph::{Graph, NodeId};
 
 /// An engine that runs one [`Program`] instance per node until global
@@ -77,11 +97,29 @@ pub trait Executor {
     /// Cumulative statistics over every run so far.
     fn total(&self) -> RunStats;
 
-    /// Resets the cumulative statistics.
+    /// Cumulative frontier-scheduling statistics over every run so far
+    /// (invocations add up; the peak is the max over runs). Like
+    /// [`Executor::total`], engine-identical for conforming engines.
+    fn frontier_total(&self) -> FrontierStats;
+
+    /// Resets the cumulative statistics (both [`Executor::total`] and
+    /// [`Executor::frontier_total`]).
     fn reset_total(&mut self);
 
     /// Adds externally-accounted rounds to the cumulative counter.
+    ///
+    /// Purely analytical charges (rounds a phase *would* cost, with no
+    /// programs actually run) have no frontier counterpart — the mean
+    /// active width is defined over executed rounds only. When the
+    /// charge accounts a real sub-executor run, also call
+    /// [`Executor::charge_frontier`] with the sub-executor's
+    /// [`Executor::frontier_total`], so invocation accounting stays
+    /// consistent with the charged rounds.
     fn charge(&mut self, stats: RunStats);
+
+    /// Adds a sub-executor's frontier counters to the cumulative
+    /// [`Executor::frontier_total`] (invocations add, peaks max).
+    fn charge_frontier(&mut self, frontier: FrontierStats);
 
     /// Runs one program instance per node until global quiescence; see
     /// the module docs for the determinism contract.
@@ -97,4 +135,50 @@ pub trait Executor {
         P: Program + Send,
         P::Output: Send,
         F: FnMut(NodeId, &Graph) -> P;
+}
+
+/// Iterates one round's active set (contract clause 5): the ascending
+/// `delivered` list of `(node, payload)` pairs — nodes that received a
+/// message this round, with an engine-specific payload such as the
+/// node's inbox location — merged with the ascending non-quiescent
+/// `carry` list, invoking `f` exactly once per active node in
+/// ascending node order. Carried-over nodes that received nothing get
+/// `empty` as payload.
+///
+/// This is the single shared implementation of the active-set
+/// semantics; the sequential [`Simulator`](crate::Simulator) and the
+/// parallel engine both schedule through it, so the clause-5 merge
+/// cannot drift between the oracle and an engine.
+pub fn for_each_active<T: Copy>(
+    delivered: &[(NodeId, T)],
+    carry: &[NodeId],
+    empty: T,
+    mut f: impl FnMut(NodeId, T),
+) {
+    let (mut i, mut j) = (0, 0);
+    loop {
+        match (delivered.get(i), carry.get(j)) {
+            (Some(&(d, t)), Some(&c)) => {
+                if d <= c {
+                    i += 1;
+                    if d == c {
+                        j += 1;
+                    }
+                    f(d, t);
+                } else {
+                    j += 1;
+                    f(c, empty);
+                }
+            }
+            (Some(&(d, t)), None) => {
+                i += 1;
+                f(d, t);
+            }
+            (None, Some(&c)) => {
+                j += 1;
+                f(c, empty);
+            }
+            (None, None) => break,
+        }
+    }
 }

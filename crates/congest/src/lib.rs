@@ -65,7 +65,7 @@ pub mod tree;
 mod message;
 mod sim;
 
-pub use exec::Executor;
+pub use exec::{for_each_active, Executor};
 pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
-pub use program::{Ctx, Program, RunStats};
+pub use program::{Ctx, FrontierStats, Program, RunStats};
 pub use sim::Simulator;

@@ -28,6 +28,49 @@ impl RunStats {
     }
 }
 
+/// Frontier-scheduling statistics for one run (or accumulated — see
+/// [`Executor::frontier_total`](crate::Executor::frontier_total)).
+///
+/// Engines schedule a node in a round only while it is *active* (see
+/// the activation contract in [`Executor`](crate::Executor)); these
+/// counters expose how sparse that schedule actually was. They are
+/// bookkeeping about the engine, not about the simulated algorithm:
+/// `RunStats` are contract-pinned and engine-identical, and so are
+/// these (the active set is determined by delivered messages and
+/// quiescence reports, both deterministic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrontierStats {
+    /// Number of [`Program::round`] invocations executed. A dense
+    /// scheduler would execute `rounds * n`; the gap is the saved work.
+    pub invocations: u64,
+    /// Largest active-node count in any single round.
+    pub peak_active: u64,
+    /// Rounds actually executed by the scheduler. Unlike
+    /// `RunStats::rounds` totals, this never includes analytically
+    /// charged rounds (see [`Executor::charge`](crate::Executor::charge)),
+    /// so it is the honest denominator for [`FrontierStats::mean_active`].
+    pub rounds: u64,
+}
+
+impl FrontierStats {
+    /// Accumulates another run's counters (invocations and rounds add,
+    /// peaks max).
+    pub fn absorb(&mut self, other: FrontierStats) {
+        self.invocations += other.invocations;
+        self.peak_active = self.peak_active.max(other.peak_active);
+        self.rounds += other.rounds;
+    }
+
+    /// Mean active-node count per executed round.
+    pub fn mean_active(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.invocations as f64 / self.rounds as f64
+        }
+    }
+}
+
 /// The per-node interface handed to [`Program`] callbacks.
 ///
 /// A `Ctx` deliberately exposes only what a CONGEST processor knows
@@ -119,9 +162,31 @@ impl<'a> Ctx<'a> {
 /// A per-node state machine executed by an [`Executor`](crate::Executor).
 ///
 /// One instance exists per vertex. `init` runs before the first round;
-/// `round` runs every round with the messages delivered *this* round.
-/// Execution stops when every edge queue is empty and every program
-/// reports [`Program::is_quiescent`].
+/// `round` runs in every round in which the node is *active* (see
+/// below). Execution stops when every edge queue is empty and every
+/// program reports [`Program::is_quiescent`].
+///
+/// # Activation contract
+///
+/// Engines schedule rounds by frontier: a node is **active** in a round
+/// iff it received at least one message this round, or it reported
+/// `is_quiescent() == false` at its previous activation boundary (after
+/// `init`, or after its most recent `round` call). `round` is invoked
+/// exactly for the active nodes; inactive nodes are skipped entirely.
+///
+/// For skipping to be unobservable, every program must be
+/// **activation-correct**: while `is_quiescent()` returns `true`, a
+/// `round` call with an empty inbox must be a no-op — no state change,
+/// no sends. Put differently, a quiescent node may only be woken by a
+/// message; a node that intends to act on its own in a future round
+/// (timers, counters, multi-round holds) must report `false` from
+/// `is_quiescent` until it is done, which keeps it scheduled every
+/// round exactly as a dense scheduler would.
+///
+/// `is_quiescent` is consulted once after `init` (for every node) and
+/// once after each `round` invocation (for that node); it takes `&self`
+/// and must be a pure function of the program state — the cached answer
+/// of a skipped node is reused until its next activation.
 pub trait Program {
     /// Per-node result collected by [`Executor::run`](crate::Executor::run).
     type Output;
@@ -129,14 +194,17 @@ pub trait Program {
     /// Called once before round 1; may send messages.
     fn init(&mut self, ctx: &mut Ctx<'_>);
 
-    /// Called once per round with this round's delivered messages
-    /// (possibly empty), as `(sender, message)` pairs ordered
-    /// deterministically by edge.
+    /// Called in each round in which this node is active, with this
+    /// round's delivered messages (possibly empty, when the node is
+    /// carried over as non-quiescent), as `(sender, message)` pairs
+    /// ordered deterministically by edge.
     fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]);
 
     /// Whether this node is passive (waiting for messages). A node that
     /// intends to act in a future round despite an empty inbox must
-    /// return `false`, otherwise the simulation may stop early.
+    /// return `false`, otherwise it is skipped until the next message
+    /// arrives (and the simulation may stop early). See the trait docs
+    /// for the full activation contract.
     fn is_quiescent(&self) -> bool {
         true
     }

@@ -1,9 +1,9 @@
 //! The sequential reference engine: per-edge FIFO queues with a
-//! bandwidth cap.
+//! bandwidth cap, frontier-scheduled rounds.
 
 use crate::exec::Executor;
 use crate::message::Message;
-use crate::program::{Ctx, Program, RunStats};
+use crate::program::{Ctx, FrontierStats, Program, RunStats};
 use lightgraph::{EdgeId, Graph, NodeId};
 use std::collections::{HashMap, VecDeque};
 
@@ -17,13 +17,26 @@ use std::collections::{HashMap, VecDeque};
 ///
 /// This is the *reference* engine: simple, sequential, and the
 /// semantics against which the parallel engine (`crates/engine`) is
-/// property-tested for bit-identical behavior.
+/// property-tested for bit-identical behavior. In particular it is the
+/// semantics **oracle for frontier scheduling** (clause 5 of the
+/// [`Executor`] contract): each round's active set is built from the
+/// directed edges that delivered a message this round plus the
+/// non-quiescent carryover from the previous round, and only active
+/// nodes have [`Program::round`] invoked. Per-round work is therefore
+/// proportional to the frontier and the message volume, not to `n` or
+/// `m` — while outputs and [`RunStats`] are bit-identical to a dense
+/// every-node-every-round schedule for activation-correct programs.
 pub struct Simulator<'g> {
     graph: &'g Graph,
     cap: usize,
     max_rounds: u64,
+    validate_activation: bool,
     total: RunStats,
+    frontier: FrontierStats,
     edge_of: Vec<HashMap<NodeId, EdgeId>>,
+    /// Receiver of each directed edge `2 * edge_id + dir` (`dir` 0 =
+    /// `u → v`), the queue-index convention shared with `engine::Csr`.
+    receivers: Vec<NodeId>,
 }
 
 impl<'g> std::fmt::Debug for Simulator<'g> {
@@ -42,16 +55,22 @@ impl<'g> Simulator<'g> {
     /// standard CONGEST bound: one message per edge per round).
     pub fn new(graph: &'g Graph) -> Self {
         let mut edge_of: Vec<HashMap<NodeId, EdgeId>> = vec![HashMap::new(); graph.n()];
+        let mut receivers: Vec<NodeId> = Vec::with_capacity(2 * graph.m());
         for (id, e) in graph.edges().iter().enumerate() {
             edge_of[e.u].entry(e.v).or_insert(id);
             edge_of[e.v].entry(e.u).or_insert(id);
+            receivers.push(e.v);
+            receivers.push(e.u);
         }
         Simulator {
             graph,
             cap: 1,
             max_rounds: 50_000_000,
+            validate_activation: false,
             total: RunStats::default(),
+            frontier: FrontierStats::default(),
             edge_of,
+            receivers,
         }
     }
 
@@ -81,14 +100,37 @@ impl<'g> Simulator<'g> {
         self.max_rounds = max_rounds;
     }
 
+    /// Enables the activation-contract validator (off by default;
+    /// inherited by sub-executors).
+    ///
+    /// In validation mode every round is a **dense** sweep: nodes the
+    /// frontier scheduler would skip are *also* ticked, with an empty
+    /// inbox, and the run panics if such a node stages a send or stops
+    /// being quiescent — the two schedule-observable ways a program can
+    /// violate activation correctness (see [`Program`]). A program that
+    /// passes a validated run behaves identically under frontier and
+    /// dense scheduling, except for deliberate output-only bookkeeping
+    /// such as counting its own invocations (which the validator cannot
+    /// and does not check). Costs the dense `rounds × n` schedule —
+    /// meant for tests, not sweeps.
+    pub fn set_validate_activation(&mut self, validate: bool) {
+        self.validate_activation = validate;
+    }
+
     /// Cumulative statistics over every run so far.
     pub fn total(&self) -> RunStats {
         self.total
     }
 
+    /// Cumulative frontier-scheduling statistics over every run so far.
+    pub fn frontier_total(&self) -> FrontierStats {
+        self.frontier
+    }
+
     /// Resets the cumulative statistics (e.g. between benchmark cases).
     pub fn reset_total(&mut self) {
         self.total = RunStats::default();
+        self.frontier = FrontierStats::default();
     }
 
     /// Adds externally-accounted rounds to the cumulative counter (used
@@ -96,6 +138,11 @@ impl<'g> Simulator<'g> {
     /// reusing a cached BFS tree would be re-built in a cold start).
     pub fn charge(&mut self, stats: RunStats) {
         self.total.absorb(stats);
+    }
+
+    /// Adds a sub-executor's frontier counters to the cumulative total.
+    pub fn charge_frontier(&mut self, frontier: FrontierStats) {
+        self.frontier.absorb(frontier);
     }
 
     /// Runs one program instance per node until global quiescence.
@@ -121,6 +168,7 @@ impl<'g> Simulator<'g> {
         let mut queues: Vec<VecDeque<(NodeId, Message)>> =
             vec![VecDeque::new(); 2 * self.graph.m()];
         let mut stats = RunStats::default();
+        let mut frontier = FrontierStats::default();
         let mut staged: Vec<(NodeId, Message)> = Vec::new();
 
         let queue_index = |edge_of: &Vec<HashMap<NodeId, EdgeId>>, from: NodeId, to: NodeId| {
@@ -135,22 +183,45 @@ impl<'g> Simulator<'g> {
             }
         };
 
+        // Frontier bookkeeping. Invariant: `charged[qi]` ⇔ queue `qi`
+        // is non-empty ⇔ `qi ∈ charged_list`. `carry` holds the nodes
+        // that reported non-quiescent at their last activation
+        // boundary, in ascending order.
+        let receivers = &self.receivers;
+        let mut charged: Vec<bool> = vec![false; 2 * self.graph.m()];
+        let mut charged_list: Vec<usize> = Vec::new();
+        let mut charged_dirty = false;
+        let mut carry: Vec<NodeId> = Vec::new();
+
         // init
         for (v, p) in programs.iter_mut().enumerate() {
             let mut ctx = Ctx::new(v, n, 0, self.graph.neighbors(v), &mut staged);
             p.init(&mut ctx);
             for (to, msg) in staged.drain(..) {
-                queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
+                let qi = queue_index(&self.edge_of, v, to);
+                if !charged[qi] {
+                    charged[qi] = true;
+                    charged_list.push(qi);
+                    charged_dirty = true;
+                }
+                queues[qi].push_back((v, msg));
+            }
+            if !p.is_quiescent() {
+                carry.push(v);
             }
         }
 
         let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
+        let mut delivered: Vec<(NodeId, ())> = Vec::new();
+        let mut still_charged: Vec<usize> = Vec::new();
+        let mut next_carry: Vec<NodeId> = Vec::new();
+        let mut active_scratch: Vec<NodeId> = Vec::new();
         loop {
-            let queues_empty = queues.iter().all(|q| q.is_empty());
-            if queues_empty && programs.iter().all(|p| p.is_quiescent()) {
+            // Contract clause 6: charged edges empty ⇔ all queues
+            // empty; carry empty ⇔ every program quiescent.
+            if charged_list.is_empty() && carry.is_empty() {
                 break;
             }
-            // Deliver up to `cap` messages per directed edge.
             stats.rounds += 1;
             if stats.rounds > self.max_rounds {
                 panic!(
@@ -158,32 +229,106 @@ impl<'g> Simulator<'g> {
                     self.max_rounds
                 );
             }
-            for (id, e) in self.graph.edges().iter().enumerate() {
-                for (qi, target) in [(2 * id, e.v), (2 * id + 1, e.u)] {
-                    for _ in 0..self.cap {
-                        match queues[qi].pop_front() {
-                            Some((from, msg)) => {
-                                stats.messages += 1;
-                                inboxes[target].push((from, msg));
-                            }
-                            None => break,
+            // Deliver up to `cap` messages per charged directed edge, in
+            // (receiver, directed id) order: per node that is ascending
+            // directed id — exactly the dense delivery loop's per-inbox
+            // order (clause 4). Leftover charged edges stay sorted, so
+            // re-sort only after fresh sends were appended.
+            if charged_dirty {
+                charged_list.sort_unstable_by_key(|&qi| (receivers[qi], qi));
+                charged_dirty = false;
+            }
+            delivered.clear();
+            still_charged.clear();
+            for &qi in &charged_list {
+                let target = receivers[qi];
+                if delivered.last().map(|&(v, ())| v) != Some(target) {
+                    delivered.push((target, ()));
+                }
+                for _ in 0..self.cap {
+                    match queues[qi].pop_front() {
+                        Some((from, msg)) => {
+                            stats.messages += 1;
+                            inboxes[target].push((from, msg));
                         }
+                        None => break,
                     }
                 }
-            }
-            for (v, p) in programs.iter_mut().enumerate() {
-                let mut ctx = Ctx::new(v, n, stats.rounds, self.graph.neighbors(v), &mut staged);
-                p.round(&mut ctx, &inboxes[v]);
-                for (to, msg) in staged.drain(..) {
-                    queues[queue_index(&self.edge_of, v, to)].push_back((v, msg));
+                if queues[qi].is_empty() {
+                    charged[qi] = false;
+                } else {
+                    still_charged.push(qi);
                 }
             }
-            for inbox in &mut inboxes {
-                inbox.clear();
+            std::mem::swap(&mut charged_list, &mut still_charged);
+
+            // Active set = delivered-to nodes ∪ non-quiescent carryover
+            // (clause 5, via the shared merge in `exec`).
+            next_carry.clear();
+            let mut active_count: u64 = 0;
+            let round_now = stats.rounds;
+            let mut run_node = |v: NodeId, active: bool| {
+                let p = &mut programs[v];
+                let mut ctx = Ctx::new(v, n, round_now, self.graph.neighbors(v), &mut staged);
+                p.round(&mut ctx, &inboxes[v]);
+                if !active {
+                    // Validation-only path: this node would have been
+                    // skipped; its tick must have been a no-op.
+                    assert!(
+                        staged.is_empty(),
+                        "activation contract violated: quiescent node {v} staged a send \
+                         in a round with an empty inbox (round {round_now})"
+                    );
+                    assert!(
+                        p.is_quiescent(),
+                        "activation contract violated: node {v} stopped being quiescent \
+                         without receiving a message (round {round_now})"
+                    );
+                    return;
+                }
+                active_count += 1;
+                for (to, msg) in staged.drain(..) {
+                    let qi = queue_index(&self.edge_of, v, to);
+                    if !charged[qi] {
+                        charged[qi] = true;
+                        charged_list.push(qi);
+                        charged_dirty = true;
+                    }
+                    queues[qi].push_back((v, msg));
+                }
+                if !p.is_quiescent() {
+                    next_carry.push(v);
+                }
+            };
+            if self.validate_activation {
+                // Dense sweep: tick skipped nodes too, asserting they
+                // are no-ops (see `set_validate_activation`).
+                active_scratch.clear();
+                crate::exec::for_each_active(&delivered, &carry, (), |v, ()| {
+                    active_scratch.push(v)
+                });
+                let mut next_active = 0usize;
+                for v in 0..n {
+                    let active = active_scratch.get(next_active) == Some(&v);
+                    if active {
+                        next_active += 1;
+                    }
+                    run_node(v, active);
+                }
+            } else {
+                crate::exec::for_each_active(&delivered, &carry, (), |v, ()| run_node(v, true));
+            }
+            std::mem::swap(&mut carry, &mut next_carry);
+            frontier.invocations += active_count;
+            frontier.peak_active = frontier.peak_active.max(active_count);
+            for &(v, ()) in &delivered {
+                inboxes[v].clear();
             }
         }
 
+        frontier.rounds = stats.rounds;
         self.total.absorb(stats);
+        self.frontier.absorb(frontier);
         (programs.into_iter().map(Program::finish).collect(), stats)
     }
 }
@@ -195,6 +340,7 @@ impl<'g> Executor for Simulator<'g> {
         let mut sub = Simulator::new(graph);
         sub.cap = self.cap;
         sub.max_rounds = self.max_rounds;
+        sub.validate_activation = self.validate_activation;
         sub
     }
 
@@ -218,12 +364,20 @@ impl<'g> Executor for Simulator<'g> {
         self.total
     }
 
+    fn frontier_total(&self) -> FrontierStats {
+        self.frontier
+    }
+
     fn reset_total(&mut self) {
         Simulator::reset_total(self)
     }
 
     fn charge(&mut self, stats: RunStats) {
         Simulator::charge(self, stats)
+    }
+
+    fn charge_frontier(&mut self, frontier: FrontierStats) {
+        Simulator::charge_frontier(self, frontier)
     }
 
     fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)
@@ -377,6 +531,103 @@ mod tests {
         let (out, stats) = sim.run(|_, _| Timer { left: 5 });
         assert_eq!(stats.rounds, 5);
         assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    fn frontier_skips_idle_nodes() {
+        // Burst: node 0 is active only through init (it never receives
+        // and is quiescent); node 1 receives in each of the 10 rounds.
+        // A dense scheduler would execute 20 invocations; the frontier
+        // schedule executes 10 with a peak active set of 1 — while the
+        // outputs and RunStats stay those of the dense schedule.
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        let (out, stats) = sim.run(|_, _| Burst { k: 10, received: 0 });
+        assert_eq!(stats.rounds, 10);
+        assert_eq!(out[1], 10);
+        let f = sim.frontier_total();
+        assert_eq!(f.invocations, 10, "only the receiver is scheduled");
+        assert_eq!(f.peak_active, 1);
+        assert_eq!(f.rounds, stats.rounds);
+        assert_eq!(f.mean_active(), 1.0);
+        sim.reset_total();
+        assert_eq!(sim.frontier_total(), FrontierStats::default());
+    }
+
+    #[test]
+    fn non_quiescent_carryover_is_scheduled_every_round() {
+        /// Counts 3 silent rounds then stops (same shape as Timer).
+        struct Countdown {
+            left: u32,
+        }
+        impl Program for Countdown {
+            type Output = u32;
+            fn init(&mut self, _ctx: &mut Ctx<'_>) {}
+            fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {
+                self.left = self.left.saturating_sub(1);
+            }
+            fn is_quiescent(&self) -> bool {
+                self.left == 0
+            }
+            fn finish(self) -> u32 {
+                self.left
+            }
+        }
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        let (_, stats) = sim.run(|_, _| Countdown { left: 3 });
+        assert_eq!(stats.rounds, 3);
+        let f = sim.frontier_total();
+        assert_eq!(f.invocations, 6, "both nodes carry over while counting");
+        assert_eq!(f.peak_active, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "activation contract violated")]
+    fn validator_catches_programs_that_rely_on_dense_ticks() {
+        /// Claims quiescence but sends after 3 silent ticks — correct
+        /// only under a dense schedule; the frontier scheduler would
+        /// never give it those ticks.
+        struct Sneaky {
+            ticks: u32,
+        }
+        impl Program for Sneaky {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.node() == 0 {
+                    // Keep rounds flowing: a 6-message burst to node 1.
+                    for i in 0..6 {
+                        ctx.send(1, Message::words(&[i]));
+                    }
+                }
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+                if ctx.node() == 2 && inbox.is_empty() {
+                    self.ticks += 1;
+                    if self.ticks == 3 {
+                        ctx.send_all(Message::words(&[99]));
+                    }
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = generators::path(3, 1);
+        let mut sim = Simulator::new(&g);
+        sim.set_validate_activation(true);
+        sim.run(|_, _| Sneaky { ticks: 0 });
+    }
+
+    #[test]
+    fn validator_is_a_no_op_for_correct_programs() {
+        let g = generators::erdos_renyi(24, 0.2, 9, 3);
+        let mut plain = Simulator::new(&g);
+        let (out_p, stats_p) = plain.run(|_, _| Hello { heard: Vec::new() });
+        let mut validated = Simulator::new(&g);
+        validated.set_validate_activation(true);
+        let (out_v, stats_v) = validated.run(|_, _| Hello { heard: Vec::new() });
+        assert_eq!(out_p, out_v);
+        assert_eq!(stats_p, stats_v);
+        assert_eq!(plain.frontier_total(), validated.frontier_total());
     }
 
     #[test]

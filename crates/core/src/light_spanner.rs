@@ -561,7 +561,9 @@ pub fn light_spanner(
         let mut sub_sim = sim.sub(&sub);
         let bs = baswana_sen(&mut sub_sim, k, seed ^ 0xb5);
         let sub_total = sub_sim.total();
+        let sub_frontier = sub_sim.frontier_total();
         sim.charge(sub_total);
+        sim.charge_frontier(sub_frontier);
         chosen.extend(bs.edges.iter().map(|&e| map[e]));
     }
 

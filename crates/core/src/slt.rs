@@ -212,7 +212,9 @@ pub fn shallow_light_tree(
     let (h_tau, _) = build_bfs_tree(&mut h_sim, rt);
     let final_spt = approx_spt(&mut h_sim, &h_tau, rt, &SptConfig::new(seed ^ 0x7e57));
     let h_total = h_sim.total();
+    let h_frontier = h_sim.frontier_total();
     sim.charge(h_total);
+    sim.charge_frontier(h_frontier);
     let mut edges: Vec<EdgeId> = final_spt
         .tree_edges(&h_graph)
         .into_iter()

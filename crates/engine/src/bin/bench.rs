@@ -1,0 +1,134 @@
+//! Perf-trajectory bench: runs a fixed pinned workload set on the
+//! parallel engine and writes machine-readable `BENCH_engine.json`, so
+//! before/after numbers for engine changes (e.g. frontier scheduling)
+//! land in the repository instead of a PR description.
+//!
+//! ```text
+//! bench                          # run the pinned set, write BENCH_engine.json
+//! bench --out path.json         # alternate output path
+//! bench --threads 4             # worker threads (default 1: the
+//!                               #   trajectory tracks one-core numbers)
+//! bench --quick                 # drop the slowest workloads (dev loop)
+//! ```
+//!
+//! The workload set is pinned — same families, sizes and seeds every
+//! run — so successive JSON snapshots are comparable:
+//!
+//! * geometric BFS at 100k, 500k and 1M nodes (round-bound; the
+//!   frontier-scheduling showcase), and
+//! * geometric SLT at 1k and 2k nodes. SLT is message-bound (~10⁸
+//!   messages at n=2k, see the scenario taper in
+//!   `scenarios/geometric_1m.toml`), so it rides at message-feasible
+//!   sizes until the multi-source table churn is profiled (ROADMAP).
+//!
+//! Each entry reports throughput (`rounds_per_sec`, `msgs_per_sec`,
+//! `wall_ms`) and the frontier-scheduling counters: `invocations`
+//! (`Program::round` calls actually executed) against
+//! `invocations_dense` (`rounds * n`, what a dense every-node
+//! scheduler would have executed) — the ratio is the scheduling win.
+
+use congest::Executor;
+use engine::scenario::{build_graph, drive, AlgoParams};
+use engine::Engine;
+use std::io::Write;
+use std::time::Instant;
+
+/// One pinned workload: (family, algorithm, n). All use seed 1 and the
+/// scenario runner's default parameters.
+const WORKLOADS: [(&str, &str, usize); 5] = [
+    ("geometric", "bfs", 100_000),
+    ("geometric", "bfs", 500_000),
+    ("geometric", "bfs", 1_000_000),
+    ("geometric", "slt", 1_000),
+    ("geometric", "slt", 2_000),
+];
+
+/// Workloads kept under `--quick` (everything that finishes in a few
+/// seconds on one core).
+const QUICK: [(&str, &str, usize); 2] =
+    [("geometric", "bfs", 100_000), ("geometric", "slt", 1_000)];
+
+const SEED: u64 = 1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench [--out PATH] [--threads N] [--quick]");
+        return;
+    }
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let threads: usize = flag_value("--threads")
+        .map(|t| t.parse().expect("--threads takes a number"))
+        .unwrap_or(1);
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let workloads: Vec<(&str, &str, usize)> = if quick {
+        QUICK.to_vec()
+    } else {
+        WORKLOADS.to_vec()
+    };
+
+    let params = AlgoParams {
+        eps: 0.5,
+        k: 2,
+        net_delta: 0,
+        net_slack: 0.5,
+    };
+
+    let mut entries: Vec<String> = Vec::new();
+    for (family, algorithm, n) in workloads {
+        eprintln!("bench: {family} {algorithm} n={n} ...");
+        let g = build_graph(family, n, 100, SEED).expect("pinned family");
+        let mut eng = Engine::with_threads(&g, threads);
+        let start = Instant::now();
+        let (stats, _, metric) =
+            drive(&mut eng, algorithm, &params, SEED).expect("pinned algorithm");
+        let wall = start.elapsed().as_secs_f64();
+        let frontier = Executor::frontier_total(&eng);
+        // Executed rounds (FrontierStats::rounds), not total accounted
+        // rounds: analytical charge()s must not inflate the dense
+        // baseline (identical for the pinned set, which charges none).
+        let dense = frontier.rounds * n as u64;
+        let entry = format!(
+            "    {{\"family\":\"{family}\",\"algorithm\":\"{algorithm}\",\"n\":{n},\"m\":{m},\
+             \"seed\":{SEED},\"threads\":{threads},\"rounds\":{rounds},\"messages\":{messages},\
+             \"wall_ms\":{wall_ms:.1},\"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
+             \"invocations\":{inv},\"invocations_dense\":{dense},\
+             \"active_peak\":{peak},\"active_mean\":{mean:.3},\"metric\":{metric}}}",
+            m = g.m(),
+            rounds = stats.rounds,
+            messages = stats.messages,
+            wall_ms = wall * 1e3,
+            rps = stats.rounds as f64 / wall.max(1e-9),
+            mps = stats.messages as f64 / wall.max(1e-9),
+            inv = frontier.invocations,
+            peak = frontier.peak_active,
+            mean = frontier.mean_active(),
+        );
+        eprintln!(
+            "bench: {family} {algorithm} n={n}: {:.1}s, {} rounds, {} invocations \
+             ({:.1}x fewer than dense)",
+            wall,
+            stats.rounds,
+            frontier.invocations,
+            dense as f64 / frontier.invocations.max(1) as f64,
+        );
+        entries.push(entry);
+    }
+
+    let json = format!(
+        "{{\n  \"schema\": 1,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
+         invocations_dense = rounds * n is the pre-frontier-scheduling cost\",\n  \
+         \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let mut f = std::fs::File::create(&out_path)
+        .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));
+    f.write_all(json.as_bytes()).expect("write bench output");
+    eprintln!("bench: results written to {out_path}");
+}

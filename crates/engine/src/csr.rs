@@ -127,6 +127,18 @@ impl Csr {
             e.v
         }
     }
+
+    /// The receiver of a directed edge, given the graph. The engine's
+    /// touched-edge queue tracking routes a freshly charged edge to the
+    /// worker shard owning this node.
+    pub fn receiver(graph: &Graph, d: DirectedId) -> NodeId {
+        let e = graph.edge(d / 2);
+        if d.is_multiple_of(2) {
+            e.v
+        } else {
+            e.u
+        }
+    }
 }
 
 #[cfg(test)]
@@ -148,8 +160,10 @@ mod tests {
         assert_eq!(csr.out_id(2, 0), 5);
         for d in 0..8 {
             let s = Csr::sender(&g, d);
+            let r = Csr::receiver(&g, d);
             let e = g.edge(d / 2);
             assert_eq!(s, if d % 2 == 0 { e.u } else { e.v });
+            assert_eq!(r, if d % 2 == 0 { e.v } else { e.u });
         }
     }
 

@@ -2,17 +2,42 @@
 //!
 //! # Execution model
 //!
-//! Nodes are split into `threads` contiguous shards. Every round runs
-//! two phases separated by barriers:
+//! Nodes are split into `threads` contiguous shards, balanced by
+//! degree (prefix-sum cuts of `1 + deg(v)`), so per-shard deliver and
+//! compute work is even on skewed graphs. Every round runs two phases
+//! separated by barriers:
 //!
 //! * **deliver** — each worker pops up to `cap` messages from every
-//!   incoming directed-edge queue of its *own* nodes into a
+//!   *charged* incoming directed-edge queue of its *own* nodes into a
 //!   worker-local inbox arena. A directed edge has exactly one
 //!   receiver, so queue access is disjoint across workers.
-//! * **compute** — each worker runs `Program::round` for its own nodes
-//!   and pushes staged sends onto the outgoing directed-edge queues of
-//!   its nodes. A directed edge has exactly one sender, so access is
-//!   again disjoint.
+//! * **compute** — each worker runs `Program::round` for its own
+//!   *active* nodes and pushes staged sends onto the outgoing
+//!   directed-edge queues of its nodes. A directed edge has exactly
+//!   one sender, so access is again disjoint.
+//!
+//! # Frontier scheduling
+//!
+//! The engine implements the activation contract of `congest::exec`
+//! (clause 5): per-round cost scales with the frontier, not with `n`
+//! or `m`.
+//!
+//! * **Touched-edge queues.** `charged[d]` tracks whether directed
+//!   queue `d` is non-empty. A sender that charges an idle queue
+//!   appends `d` to a `touched[sender_worker][receiver_worker]` bucket;
+//!   during deliver each worker drains the buckets addressed to it,
+//!   merges them with its still-charged carryover, and visits only
+//!   those queues — in `(receiver, directed id)` order, which is the
+//!   simulator's inbox order per node. Bucket rows are written by one
+//!   sender worker during compute and bucket columns drained by one
+//!   receiver worker during deliver, so access stays disjoint.
+//! * **Active lists.** Each worker runs `Program::round` only for the
+//!   merge of (a) its nodes that received messages this round and (b)
+//!   its non-quiescent carryover from the previous round, re-querying
+//!   `is_quiescent` only for those nodes. Quiescence detection folds
+//!   into this bookkeeping: a shared non-quiescent counter replaces the
+//!   old full `is_quiescent` sweep, and the round loop stops when the
+//!   pending-message and non-quiescent counters are both zero.
 //!
 //! # Why this is deterministic
 //!
@@ -21,16 +46,19 @@
 //! Both survive parallelization for free: every directed-edge queue has
 //! a *unique* sender (so FIFO order equals that sender's staged order,
 //! regardless of node interleaving), and each worker assembles its
-//! nodes' inboxes by walking incoming edges in ascending directed id
-//! order — the sequential delivery order. No message ever races: the
-//! deliver and compute phases are barrier-separated, and within a phase
-//! every queue is touched by exactly one worker. The result is
-//! bit-identical outputs and [`RunStats`] versus
-//! [`congest::Simulator`], verified by property tests.
+//! nodes' inboxes by walking its charged incoming edges in ascending
+//! directed id order — the sequential delivery order. The active sets
+//! are themselves deterministic (delivered edges + quiescence reports),
+//! so frontier scheduling changes which nodes are *ticked*, never what
+//! they observe. No message ever races: the deliver and compute phases
+//! are barrier-separated, and within a phase every queue is touched by
+//! exactly one worker. The result is bit-identical outputs and
+//! [`RunStats`] versus [`congest::Simulator`], verified by property
+//! tests.
 
-use crate::csr::Csr;
+use crate::csr::{Csr, DirectedId};
 use crate::report::EngineReport;
-use congest::{Ctx, Executor, Message, Program, RunStats, Word, WORDS_PER_MESSAGE};
+use congest::{Ctx, Executor, FrontierStats, Message, Program, RunStats, Word, WORDS_PER_MESSAGE};
 use lightgraph::{Graph, NodeId};
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -100,12 +128,35 @@ impl<'a, T> SharedSlice<'a, T> {
     }
 }
 
-/// Contiguous node ranges, one per worker.
-fn shard_bounds(n: usize, threads: usize) -> Vec<(usize, usize)> {
-    (0..threads)
-        .map(|t| (n * t / threads, n * (t + 1) / threads))
-        .collect()
+/// Contiguous node ranges, one per worker, balanced by degree: shard
+/// boundaries are prefix-sum cuts of `1 + deg(v)` (the per-node
+/// deliver+compute cost proxy) instead of equal node counts, so a hub
+/// node does not overload its shard. Deterministic in
+/// `(graph, threads)`; the `congest::exec` contract makes outputs
+/// independent of the boundaries (and hence of the thread count)
+/// entirely, so balancing is free to follow the workload.
+fn shard_bounds(graph: &Graph, threads: usize) -> Vec<(usize, usize)> {
+    let n = graph.n();
+    let total: u64 = n as u64 + 2 * graph.m() as u64;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut acc: u64 = 0;
+    let mut v = 0usize;
+    let mut lo = 0usize;
+    for t in 1..=threads {
+        let target = total * t as u64 / threads as u64;
+        while v < n && acc < target {
+            acc += 1 + graph.degree(v) as u64;
+            v += 1;
+        }
+        bounds.push((lo, v));
+        lo = v;
+    }
+    bounds
 }
+
+/// Per-round record-mode histograms collected by worker 0:
+/// (messages, max queue depth, active nodes).
+type Histograms = (Vec<u64>, Vec<u64>, Vec<u64>);
 
 /// Worker-wide control decision taken (identically) by every worker at
 /// the top of each round.
@@ -128,11 +179,13 @@ pub struct Engine<'g> {
     graph: &'g Graph,
     csr: Csr,
     senders: Vec<NodeId>,
+    receivers: Vec<NodeId>,
     cap: usize,
     max_rounds: u64,
     threads: usize,
     record_metrics: bool,
     total: RunStats,
+    frontier: FrontierStats,
     last_report: Option<EngineReport>,
 }
 
@@ -169,15 +222,20 @@ impl<'g> Engine<'g> {
         let senders = (0..csr.directed_len())
             .map(|d| Csr::sender(graph, d))
             .collect();
+        let receivers = (0..csr.directed_len())
+            .map(|d| Csr::receiver(graph, d))
+            .collect();
         Engine {
             graph,
             csr,
             senders,
+            receivers,
             cap: 1,
             max_rounds: 50_000_000,
             threads,
             record_metrics: false,
             total: RunStats::default(),
+            frontier: FrontierStats::default(),
             last_report: None,
         }
     }
@@ -222,51 +280,102 @@ impl<'g> Engine<'g> {
         let graph = self.graph;
         let csr = &self.csr;
         let senders = &self.senders;
+        let receivers = &self.receivers;
         let cap = self.cap;
         let max_rounds = self.max_rounds;
         let record = self.record_metrics;
         let threads = self.threads.clamp(1, n.max(1));
-        let shards = shard_bounds(n, threads);
+        let shards = shard_bounds(graph, threads);
+        // Worker shard owning each node, for routing touched edges to
+        // the receiver's worker.
+        let shard_of: Vec<u32> = {
+            let mut so = vec![0u32; n];
+            for (wid, &(lo, hi)) in shards.iter().enumerate() {
+                so[lo..hi].iter_mut().for_each(|s| *s = wid as u32);
+            }
+            so
+        };
 
         // `make` runs on the calling thread, in node order (contract).
         let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
         let mut queues: Vec<VecDeque<InlineMsg>> =
             (0..csr.directed_len()).map(|_| VecDeque::new()).collect();
+        // `charged[d]` ⇔ queue `d` is non-empty ⇔ `d` sits in exactly
+        // one receiver-side carryover list or touched bucket. Written by
+        // the unique sender during compute/init, cleared by the unique
+        // receiver during deliver — phases are barrier-separated.
+        let mut charged: Vec<bool> = vec![false; csr.directed_len()];
+        // `touched[s * threads + r]`: edges freshly charged by sender
+        // worker `s` whose receiver lives in shard `r`. Rows written
+        // during compute, columns drained during deliver; both disjoint.
+        let mut touched: Vec<Vec<DirectedId>> = vec![Vec::new(); threads * threads];
         let mut per_directed: Vec<u64> = if record {
             vec![0; csr.directed_len()]
         } else {
             Vec::new()
         };
+        // Record-mode only: membership flags for each sender's backlog
+        // list of possibly-non-empty own out-queues, so the per-round
+        // depth histogram scans the backlog instead of all `2m` queues.
+        // Written exclusively by the unique sender worker (register on
+        // push, purge on scan — both in its compute phase).
+        let mut in_backlog: Vec<bool> = if record {
+            vec![false; csr.directed_len()]
+        } else {
+            Vec::new()
+        };
 
         let mut stats = RunStats::default();
+        let run_frontier;
         let livelocked;
         let histograms;
 
         {
             let programs_sh = SharedSlice::new(&mut programs);
             let queues_sh = SharedSlice::new(&mut queues);
+            let charged_sh = SharedSlice::new(&mut charged);
+            let touched_sh = SharedSlice::new(&mut touched);
             let per_directed_sh = SharedSlice::new(&mut per_directed);
+            let in_backlog_sh = SharedSlice::new(&mut in_backlog);
             let pending = AtomicI64::new(0);
-            let any_active = AtomicBool::new(false);
+            // Count of non-quiescent programs; replaces the old
+            // every-node `is_quiescent` sweep. Updated incrementally by
+            // each worker from its carryover-list delta after compute.
+            let nonquiescent = AtomicI64::new(0);
             let delivered_cum = AtomicU64::new(0);
+            let active_cum = AtomicU64::new(0);
             let round_max_depth = AtomicU64::new(0);
             let abort = AtomicBool::new(false);
             let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
             let barrier = Barrier::new(threads);
 
             // One worker body, run by `threads` threads in lockstep;
-            // returns (rounds, messages, histograms) — meaningful for
-            // worker 0 only.
-            let worker = |wid: usize| -> (u64, u64, Option<(Vec<u64>, Vec<u64>)>) {
+            // returns (rounds, messages, frontier, histograms) —
+            // meaningful for worker 0 only.
+            let worker = |wid: usize| -> (u64, u64, FrontierStats, Option<Histograms>) {
                 let (lo, hi) = shards[wid];
                 let mut staged: Vec<(NodeId, Message)> = Vec::new();
                 let mut arena: Vec<(NodeId, Message)> = Vec::new();
-                let mut ranges: Vec<(usize, usize)> = vec![(0, 0); hi - lo];
+                // Own nodes that received messages this round, with
+                // their arena inbox ranges (ascending node order).
+                let mut inbox_ranges: Vec<(NodeId, (usize, usize))> = Vec::new();
+                // Own edges still charged after last deliver, sorted by
+                // (receiver, id); own nodes non-quiescent after their
+                // last activation, ascending.
+                let mut carry_edges: Vec<DirectedId> = Vec::new();
+                let mut carry_nodes: Vec<NodeId> = Vec::new();
+                let mut next_edges: Vec<DirectedId> = Vec::new();
+                let mut next_nodes: Vec<NodeId> = Vec::new();
+                // Record-mode: own out-queues that may be non-empty.
+                let mut out_backlog: Vec<DirectedId> = Vec::new();
                 let mut round: u64 = 0;
                 let mut messages: u64 = 0;
                 let mut delivered_seen: u64 = 0;
+                let mut active_seen: u64 = 0;
+                let mut peak_active: u64 = 0;
                 let mut hist_msgs: Vec<u64> = Vec::new();
                 let mut hist_depth: Vec<u64> = Vec::new();
+                let mut hist_active: Vec<u64> = Vec::new();
 
                 let guard = |f: &mut dyn FnMut()| {
                     if abort.load(Ordering::SeqCst) {
@@ -278,7 +387,9 @@ impl<'g> Engine<'g> {
                     }
                 };
 
-                // ---- init phase (round 0): one send burst per node.
+                // ---- init phase (round 0): one send burst per node;
+                // seed the non-quiescent carryover (the only full-shard
+                // `is_quiescent` evaluation of the run).
                 guard(&mut || {
                     let mut delta: i64 = 0;
                     for v in lo..hi {
@@ -287,32 +398,39 @@ impl<'g> Engine<'g> {
                         p.init(&mut ctx);
                         for (to, msg) in staged.drain(..) {
                             let d = csr.out_id(v, to);
+                            let ch = unsafe { charged_sh.get_mut(d) };
+                            if !*ch {
+                                *ch = true;
+                                let r = shard_of[to] as usize;
+                                unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                            }
+                            if record {
+                                let ib = unsafe { in_backlog_sh.get_mut(d) };
+                                if !*ib {
+                                    *ib = true;
+                                    out_backlog.push(d);
+                                }
+                            }
                             unsafe { queues_sh.get_mut(d) }.push_back(InlineMsg::pack(&msg));
                             delta += 1;
                         }
+                        if !p.is_quiescent() {
+                            carry_nodes.push(v);
+                        }
                     }
                     pending.fetch_add(delta, Ordering::SeqCst);
+                    nonquiescent.fetch_add(carry_nodes.len() as i64, Ordering::SeqCst);
                 });
-                barrier.wait();
+                barrier.wait(); // init burst + carryover seeds visible
 
                 loop {
-                    // ---- phase A: quiescence contribution (guarded:
-                    // a panicking is_quiescent must abort, not strand
-                    // the other workers at the barrier).
-                    guard(&mut || {
-                        let quiescent =
-                            (lo..hi).all(|v| unsafe { programs_sh.get_mut(v) }.is_quiescent());
-                        if !quiescent {
-                            any_active.store(true, Ordering::SeqCst);
-                        }
-                    });
-                    barrier.wait(); // #1: all contributions visible
-
-                    // ---- decide (identically on every worker).
+                    // ---- decide (identically on every worker): every
+                    // counter update completed before the previous
+                    // barrier.
                     let decision = if abort.load(Ordering::SeqCst) {
                         Decision::Aborted
                     } else if pending.load(Ordering::SeqCst) == 0
-                        && !any_active.load(Ordering::SeqCst)
+                        && nonquiescent.load(Ordering::SeqCst) == 0
                     {
                         Decision::Quiescent
                     } else if round + 1 > max_rounds {
@@ -320,99 +438,185 @@ impl<'g> Engine<'g> {
                     } else {
                         Decision::Continue
                     };
-                    // Worker 0 accounts the *previous* round's deliveries
-                    // (all adds completed before barrier #1).
+                    // Worker 0 accounts the *previous* round's
+                    // deliveries and activations.
                     if wid == 0 {
                         let cum = delivered_cum.load(Ordering::SeqCst);
                         let this_round = cum - delivered_seen;
                         delivered_seen = cum;
                         messages = cum;
+                        let acum = active_cum.load(Ordering::SeqCst);
+                        let round_active = acum - active_seen;
+                        active_seen = acum;
+                        peak_active = peak_active.max(round_active);
                         if record && round > 0 {
                             hist_msgs.push(this_round);
                             hist_depth.push(round_max_depth.load(Ordering::SeqCst));
+                            hist_active.push(round_active);
                         }
                     }
-                    barrier.wait(); // #2: decision epoch closed
+                    barrier.wait(); // #1: decision epoch closed
 
                     match decision {
                         Decision::Continue => {}
                         _ => {
+                            let frontier = FrontierStats {
+                                invocations: active_seen,
+                                peak_active,
+                                rounds: round,
+                            };
                             return (
                                 round,
                                 messages,
-                                (wid == 0 && record).then_some((hist_msgs, hist_depth)),
+                                frontier,
+                                (wid == 0 && record).then_some((
+                                    hist_msgs,
+                                    hist_depth,
+                                    hist_active,
+                                )),
                             );
                         }
                     }
                     round += 1;
                     if wid == 0 {
-                        // Next phase-A writes happen after barrier #4,
-                        // next depth writes after barrier #3: both
-                        // resets are race-free here.
-                        any_active.store(false, Ordering::SeqCst);
+                        // Depth writes happen in compute (after barrier
+                        // #2), reads at the decision above: the reset
+                        // is race-free here.
                         round_max_depth.store(0, Ordering::SeqCst);
                     }
 
-                    // ---- deliver: pop own nodes' incoming queues.
+                    // ---- deliver: pop own nodes' charged queues only.
                     guard(&mut || {
                         arena.clear();
+                        inbox_ranges.clear();
+                        // Fresh charges addressed to this shard, from
+                        // every sender worker's bucket row. Leftover
+                        // charged edges stay sorted; re-sort only when
+                        // buckets actually brought new ones.
+                        let mut fresh = false;
+                        for w in 0..threads {
+                            let bucket = unsafe { touched_sh.get_mut(w * threads + wid) };
+                            fresh |= !bucket.is_empty();
+                            carry_edges.append(bucket);
+                        }
+                        if fresh {
+                            // (receiver, id) order restores the
+                            // simulator's per-node ascending-directed-id
+                            // inbox order.
+                            carry_edges.sort_unstable_by_key(|&d| (receivers[d], d));
+                        }
                         let mut delta: i64 = 0;
-                        for v in lo..hi {
-                            let start = arena.len();
-                            for &d in csr.incoming(v) {
-                                let q = unsafe { queues_sh.get_mut(d) };
-                                let mut popped = 0u64;
-                                while popped < cap as u64 {
-                                    match q.pop_front() {
-                                        Some(im) => {
-                                            arena.push((senders[d], im.unpack()));
-                                            popped += 1;
-                                        }
-                                        None => break,
+                        next_edges.clear();
+                        for &d in carry_edges.iter() {
+                            let v = receivers[d];
+                            match inbox_ranges.last_mut() {
+                                Some(&mut (node, _)) if node == v => {}
+                                _ => inbox_ranges.push((v, (arena.len(), arena.len()))),
+                            }
+                            let q = unsafe { queues_sh.get_mut(d) };
+                            let mut popped = 0u64;
+                            while popped < cap as u64 {
+                                match q.pop_front() {
+                                    Some(im) => {
+                                        arena.push((senders[d], im.unpack()));
+                                        popped += 1;
                                     }
-                                }
-                                delta -= popped as i64;
-                                if record && popped > 0 {
-                                    *unsafe { per_directed_sh.get_mut(d) } += popped;
+                                    None => break,
                                 }
                             }
-                            ranges[v - lo] = (start, arena.len());
+                            inbox_ranges.last_mut().expect("pushed above").1 .1 = arena.len();
+                            delta -= popped as i64;
+                            if record && popped > 0 {
+                                *unsafe { per_directed_sh.get_mut(d) } += popped;
+                            }
+                            if q.is_empty() {
+                                *unsafe { charged_sh.get_mut(d) } = false;
+                            } else {
+                                next_edges.push(d);
+                            }
                         }
+                        std::mem::swap(&mut carry_edges, &mut next_edges);
                         pending.fetch_add(delta, Ordering::SeqCst);
                         delivered_cum.fetch_add((-delta) as u64, Ordering::SeqCst);
                     });
-                    barrier.wait(); // #3: all inboxes assembled
+                    barrier.wait(); // #2: all inboxes assembled
 
-                    // ---- compute: run own programs, push own sends.
+                    // ---- compute: run own *active* programs (nodes
+                    // with deliveries ∪ non-quiescent carryover, clause
+                    // 5 via the shared merge), push own sends, update
+                    // the carryover in place.
                     guard(&mut || {
                         let mut delta: i64 = 0;
-                        for v in lo..hi {
-                            let (start, end) = ranges[v - lo];
-                            let p = unsafe { programs_sh.get_mut(v) };
-                            let mut ctx = Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
-                            p.round(&mut ctx, &arena[start..end]);
-                            for (to, msg) in staged.drain(..) {
-                                let d = csr.out_id(v, to);
-                                unsafe { queues_sh.get_mut(d) }.push_back(InlineMsg::pack(&msg));
-                                delta += 1;
-                            }
-                        }
-                        pending.fetch_add(delta, Ordering::SeqCst);
-                        if record {
-                            let mut depth = 0u64;
-                            for v in lo..hi {
-                                for &(_, d) in csr.out(v) {
-                                    depth = depth.max(unsafe { queues_sh.get_mut(d) }.len() as u64);
+                        let mut executed: u64 = 0;
+                        next_nodes.clear();
+                        congest::for_each_active(
+                            &inbox_ranges,
+                            &carry_nodes,
+                            (0, 0),
+                            |v, (inbox_start, inbox_end)| {
+                                executed += 1;
+                                let p = unsafe { programs_sh.get_mut(v) };
+                                let mut ctx =
+                                    Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
+                                p.round(&mut ctx, &arena[inbox_start..inbox_end]);
+                                for (to, msg) in staged.drain(..) {
+                                    let d = csr.out_id(v, to);
+                                    let ch = unsafe { charged_sh.get_mut(d) };
+                                    if !*ch {
+                                        *ch = true;
+                                        let r = shard_of[to] as usize;
+                                        unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                                    }
+                                    if record {
+                                        let ib = unsafe { in_backlog_sh.get_mut(d) };
+                                        if !*ib {
+                                            *ib = true;
+                                            out_backlog.push(d);
+                                        }
+                                    }
+                                    unsafe { queues_sh.get_mut(d) }
+                                        .push_back(InlineMsg::pack(&msg));
+                                    delta += 1;
                                 }
-                            }
+                                if !p.is_quiescent() {
+                                    next_nodes.push(v);
+                                }
+                            },
+                        );
+                        nonquiescent.fetch_add(
+                            next_nodes.len() as i64 - carry_nodes.len() as i64,
+                            Ordering::SeqCst,
+                        );
+                        std::mem::swap(&mut carry_nodes, &mut next_nodes);
+                        pending.fetch_add(delta, Ordering::SeqCst);
+                        active_cum.fetch_add(executed, Ordering::SeqCst);
+                        if record {
+                            // Depth scan over the sender-side backlog
+                            // only: queues outside it are empty, so the
+                            // max matches a full `2m`-queue sweep at
+                            // frontier-proportional cost. Drained
+                            // queues leave the backlog here (only this
+                            // worker pushes to them, so the length
+                            // read is race-free during compute).
+                            let mut depth = 0u64;
+                            out_backlog.retain(|&d| {
+                                let len = unsafe { queues_sh.get_mut(d) }.len() as u64;
+                                if len == 0 {
+                                    *unsafe { in_backlog_sh.get_mut(d) } = false;
+                                    false
+                                } else {
+                                    depth = depth.max(len);
+                                    true
+                                }
+                            });
                             round_max_depth.fetch_max(depth, Ordering::SeqCst);
                         }
                     });
-                    barrier.wait(); // #4: all sends queued
+                    barrier.wait(); // #3: all sends queued
                 }
             };
 
-            let (rounds, messages, hists) = std::thread::scope(|s| {
+            let (rounds, messages, frontier, hists) = std::thread::scope(|s| {
                 for wid in 1..threads {
                     let w = &worker;
                     s.spawn(move || w(wid));
@@ -425,8 +629,10 @@ impl<'g> Engine<'g> {
             }
             stats.rounds = rounds;
             stats.messages = messages;
+            run_frontier = frontier;
             livelocked = rounds >= max_rounds
-                && (pending.load(Ordering::SeqCst) != 0 || any_active.load(Ordering::SeqCst));
+                && (pending.load(Ordering::SeqCst) != 0
+                    || nonquiescent.load(Ordering::SeqCst) != 0);
             histograms = hists;
         }
 
@@ -435,18 +641,21 @@ impl<'g> Engine<'g> {
         }
 
         if record {
-            let (messages_per_round, max_queue_depth_per_round) = histograms.unwrap_or_default();
+            let (messages_per_round, max_queue_depth_per_round, active_per_round) =
+                histograms.unwrap_or_default();
             self.last_report = Some(EngineReport {
                 rounds: stats.rounds,
                 total_messages: stats.messages,
                 messages_per_round,
                 max_queue_depth_per_round,
+                active_per_round,
                 hot_edges: EngineReport::rank_hot_edges(&per_directed),
                 threads,
             });
         }
 
         self.total.absorb(stats);
+        self.frontier.absorb(run_frontier);
         (programs.into_iter().map(Program::finish).collect(), stats)
     }
 }
@@ -483,12 +692,21 @@ impl<'g> Executor for Engine<'g> {
         self.total
     }
 
+    fn frontier_total(&self) -> FrontierStats {
+        self.frontier
+    }
+
     fn reset_total(&mut self) {
         self.total = RunStats::default();
+        self.frontier = FrontierStats::default();
     }
 
     fn charge(&mut self, stats: RunStats) {
         self.total.absorb(stats);
+    }
+
+    fn charge_frontier(&mut self, frontier: FrontierStats) {
+        self.frontier.absorb(frontier);
     }
 
     fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)
@@ -698,6 +916,61 @@ mod tests {
     }
 
     #[test]
+    fn shards_balance_by_degree_not_node_count() {
+        // Star: the hub carries almost all the work; its shard must
+        // hold far fewer nodes than the leaf shard.
+        let g = generators::star(31, 9, 1);
+        let bounds = shard_bounds(&g, 2);
+        assert_eq!(bounds.len(), 2);
+        assert_eq!(bounds[0].0, 0);
+        assert_eq!(bounds[1].1, 31);
+        assert_eq!(bounds[0].1, bounds[1].0, "shards are contiguous");
+        let hub_shard = bounds[if g.degree(0) > g.degree(30) { 0 } else { 1 }];
+        assert!(
+            hub_shard.1 - hub_shard.0 < 16,
+            "hub shard {hub_shard:?} should be node-light"
+        );
+        // Work (1 + degree) is near-balanced.
+        let work =
+            |(lo, hi): (usize, usize)| -> u64 { (lo..hi).map(|v| 1 + g.degree(v) as u64).sum() };
+        let (w0, w1) = (work(bounds[0]), work(bounds[1]));
+        assert!(w0.abs_diff(w1) <= 1 + g.degree(0) as u64, "{w0} vs {w1}");
+    }
+
+    #[test]
+    fn shard_bounds_cover_all_nodes_for_any_thread_count() {
+        for (n, seed) in [(1usize, 0u64), (7, 1), (40, 2)] {
+            let g = generators::erdos_renyi(n, 0.2, 9, seed);
+            for threads in 1..=8 {
+                let bounds = shard_bounds(&g, threads);
+                assert_eq!(bounds.len(), threads);
+                assert_eq!(bounds[0].0, 0);
+                assert_eq!(bounds[threads - 1].1, n);
+                assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0));
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_stats_match_simulator_and_skip_idle_nodes() {
+        // Burst over one edge: only the receiver is ever active, so a
+        // 10-round run costs 10 invocations (dense: 20), on any thread
+        // count, matching the simulator's frontier accounting.
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = congest::Simulator::new(&g);
+        sim.run(|_, _| Burst { k: 10, received: 0 });
+        for threads in [1, 2] {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (_, stats) = eng.run(|_, _| Burst { k: 10, received: 0 });
+            let f = Executor::frontier_total(&eng);
+            assert_eq!(f, sim.frontier_total(), "threads={threads}");
+            assert_eq!(f.invocations, 10);
+            assert_eq!(f.peak_active, 1);
+            assert!(f.invocations < stats.rounds * g.n() as u64, "skips idle");
+        }
+    }
+
+    #[test]
     fn report_collects_histograms_and_hot_edges() {
         let g = lightgraph::Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
         let mut eng = Engine::with_threads(&g, 2);
@@ -709,6 +982,15 @@ mod tests {
         assert_eq!(
             report.messages_per_round.iter().sum::<u64>(),
             stats.messages
+        );
+        assert_eq!(
+            report.active_per_round.iter().sum::<u64>(),
+            Executor::frontier_total(&eng).invocations,
+            "active histogram sums to the invocation count"
+        );
+        assert_eq!(
+            report.peak_active(),
+            Executor::frontier_total(&eng).peak_active
         );
         assert_eq!(report.hot_edges[0].0, 0, "edge 0 carries the burst");
         assert_eq!(

@@ -20,6 +20,10 @@ pub struct EngineReport {
     /// Largest backlog across all directed-edge queues *after* each
     /// round's sends; a proxy for congestion pressure.
     pub max_queue_depth_per_round: Vec<u64>,
+    /// Active nodes (nodes whose `Program::round` ran) in each round —
+    /// the frontier-size histogram; index 0 is round 1. Sums to the
+    /// run's `FrontierStats::invocations`.
+    pub active_per_round: Vec<u64>,
     /// The `HOT_EDGE_TOP_K` undirected edges carrying the most traffic,
     /// as `(edge id, delivered messages)`, heaviest first.
     pub hot_edges: Vec<(EdgeId, u64)>,
@@ -40,6 +44,11 @@ impl EngineReport {
             .copied()
             .max()
             .unwrap_or(0)
+    }
+
+    /// Peak per-round active-node count (frontier width).
+    pub fn peak_active(&self) -> u64 {
+        self.active_per_round.iter().copied().max().unwrap_or(0)
     }
 
     /// Builds the top-K hot-edge list from per-directed-edge delivery

@@ -84,6 +84,13 @@ pub struct Row {
     pub seed: u64,
     /// Rounds/messages of the run.
     pub stats: RunStats,
+    /// Peak active-node count in any round (frontier width; see the
+    /// activation contract in `congest::exec`). Engine-independent.
+    pub active_peak: u64,
+    /// Mean active-node count per *executed* round
+    /// (`invocations / FrontierStats::rounds` — analytically charged
+    /// rounds are excluded from the denominator).
+    pub active_mean: f64,
     /// Wall-clock milliseconds.
     pub wall_ms: f64,
     /// Algorithm-specific headline number, e.g. BFS height, MST weight.
@@ -100,7 +107,8 @@ impl Row {
     /// The fixed CSV column order; every row serializes exactly these
     /// fields (empty cells where instrumentation was not recorded).
     pub const CSV_HEADER: &'static str = "family,n,m,algorithm,engine,threads,seed,rounds,\
-                                          messages,wall_ms,metric_name,metric,\
+                                          messages,active_peak,active_mean,wall_ms,\
+                                          metric_name,metric,\
                                           peak_round_messages,peak_queue_depth";
 
     /// JSONL serialization. Field order is stable; the headline metric
@@ -108,8 +116,8 @@ impl Row {
     pub fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"family\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"engine\":\"{}\",\
-             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\"wall_ms\":{:.3},\
-             \"{}\":{}",
+             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\"active_peak\":{},\
+             \"active_mean\":{:.3},\"wall_ms\":{:.3},\"{}\":{}",
             self.family,
             self.n,
             self.m,
@@ -119,6 +127,8 @@ impl Row {
             self.seed,
             self.stats.rounds,
             self.stats.messages,
+            self.active_peak,
+            self.active_mean,
             self.wall_ms,
             self.metric_name,
             self.metric,
@@ -136,7 +146,7 @@ impl Row {
     /// CSV serialization in [`Row::CSV_HEADER`] order.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
             self.family,
             self.n,
             self.m,
@@ -146,6 +156,8 @@ impl Row {
             self.seed,
             self.stats.rounds,
             self.stats.messages,
+            self.active_peak,
+            self.active_mean,
             self.wall_ms,
             self.metric_name,
             self.metric,
@@ -281,12 +293,12 @@ struct Cell<'a> {
 
 fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Result<Row, String> {
     let start = Instant::now();
-    let (stats, metric_name, metric, peaks) = match which {
+    let (stats, frontier, metric_name, metric, peaks) = match which {
         "sim" => {
             let mut sim = Simulator::new(g);
             Executor::set_cap(&mut sim, globals.cap);
             let (stats, name, metric) = drive(&mut sim, cell.algorithm, &cell.params, cell.seed)?;
-            (stats, name, metric, None)
+            (stats, sim.frontier_total(), name, metric, None)
         }
         "parallel" => {
             let mut eng = Engine::with_threads(g, globals.threads);
@@ -296,7 +308,7 @@ fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Resul
             let peaks = eng
                 .last_report()
                 .map(|r| (r.peak_round_messages(), r.peak_queue_depth()));
-            (stats, name, metric, peaks)
+            (stats, Executor::frontier_total(&eng), name, metric, peaks)
         }
         other => return Err(format!("unknown engine `{other}`")),
     };
@@ -310,6 +322,8 @@ fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Resul
         threads: if which == "sim" { 1 } else { globals.threads },
         seed: cell.seed,
         stats,
+        active_peak: frontier.peak_active,
+        active_mean: frontier.mean_active(),
         wall_ms,
         metric_name,
         metric,
@@ -407,24 +421,26 @@ fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> 
                     params,
                     seed,
                 };
-                let mut seen: Option<RunStats> = None;
+                // RunStats *and* frontier accounting must match across
+                // engines (the active set is contract-determined).
+                let mut seen: Option<(RunStats, u64, u64)> = None;
                 for which in &globals.engines {
                     let row = run_cell(globals, &g, which, &cell)?;
-                    let stats = row.stats;
+                    let probe = (row.stats, row.active_peak, row.active_mean.to_bits());
                     let line = match globals.format {
                         OutputFormat::Jsonl => row.to_json(),
                         OutputFormat::Csv => row.to_csv(),
                     };
                     writeln!(out, "{line}").map_err(|e| e.to_string())?;
                     if let Some(prev) = seen {
-                        if prev != stats {
+                        if prev != probe {
                             return Err(format!(
                                 "DETERMINISM VIOLATION: {family} n={n} {algorithm} seed={seed}: \
-                                 sim {prev:?} != parallel {stats:?}"
+                                 sim {prev:?} != parallel {probe:?}"
                             ));
                         }
                     }
-                    seen = Some(stats);
+                    seen = Some(probe);
                 }
             }
         }

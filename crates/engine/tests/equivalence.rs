@@ -25,12 +25,13 @@
 
 use congest::collective;
 use congest::tree::build_bfs_tree;
-use congest::{Executor, Simulator};
+use congest::{Ctx, Executor, Message, Program, Simulator};
 use dist_mst::boruvka::distributed_mst;
 use dist_mst::euler::distributed_euler_tour;
 use dist_sssp::bellman::bellman_ford;
 use dist_sssp::landmark::{approx_spt, SptConfig};
 use engine::Engine;
+use lightgraph::NodeId;
 use lightgraph::{generators, Graph};
 use lightnet::nets::net;
 use lightnet::{doubling_spanner, light_spanner, shallow_light_tree};
@@ -55,6 +56,71 @@ fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
 }
 
 const THREADS: [usize; 3] = [1, 3, 6];
+
+/// Adversarial activation-contract program: a token starts at node 0
+/// with a hop budget and wanders the graph. A node receiving the token
+/// goes **non-quiescent** and holds it for `node % 3` silent rounds
+/// (exercising empty-inbox carryover scheduling), then forwards it to
+/// a deterministically chosen neighbor and goes **quiescent again** —
+/// until the token (or another one: `ttl` splits in two every fourth
+/// hop) reactivates it by message receipt. Every node also counts its
+/// own `round` invocations, so the outputs pin down exactly which
+/// rounds each engine scheduled.
+struct HoldAndRelay {
+    hold_left: u32,
+    pending: Vec<u64>,
+    tokens_seen: u64,
+    invoked: u64,
+}
+
+impl Program for HoldAndRelay {
+    /// (tokens received, `round` invocations executed).
+    type Output = (u64, u64);
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.node() == 0 && ctx.degree() > 0 {
+            self.pending.push(12);
+            self.hold_left = 2;
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        self.invoked += 1;
+        for (_, msg) in inbox {
+            self.tokens_seen += 1;
+            let ttl = msg.word(0);
+            if ttl > 0 {
+                if self.pending.is_empty() {
+                    self.hold_left = (ctx.node() % 3) as u32;
+                }
+                self.pending.push(ttl - 1);
+                if ttl.is_multiple_of(4) {
+                    self.pending.push(ttl / 2);
+                }
+            }
+        }
+        if !self.pending.is_empty() {
+            if self.hold_left == 0 {
+                for (i, ttl) in self.pending.drain(..).enumerate() {
+                    let nbrs = ctx.neighbors();
+                    let pick = (ctx.node() + i) % nbrs.len();
+                    let (to, _, _) = nbrs[pick];
+                    ctx.send(to, Message::words(&[ttl]));
+                }
+            } else {
+                self.hold_left -= 1;
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    fn finish(self) -> (u64, u64) {
+        (self.tokens_seen, self.invoked)
+    }
+}
 
 /// Thread counts for the round-heavy composite algorithms (Euler tour,
 /// nets, doubling spanner, landmark SPT): one sequential and one
@@ -238,6 +304,61 @@ proptest! {
         }
     }
 
+    /// Activation semantics: programs that go quiescent and later
+    /// reactivate on message receipt must behave identically on the
+    /// simulator (the frontier-scheduling oracle) and the engine at
+    /// every thread count — including the per-node invocation counts,
+    /// which pin down *exactly* which rounds each engine scheduled.
+    #[test]
+    fn prop_reactivation_identical((g, _seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (os, ss) = sim.run(|_, _| HoldAndRelay {
+            hold_left: 0,
+            pending: Vec::new(),
+            tokens_seen: 0,
+            invoked: 0,
+        });
+        let fs = sim.frontier_total();
+        // The frontier bookkeeping is honest: counted invocations equal
+        // what the programs observed.
+        prop_assert_eq!(fs.invocations, os.iter().map(|&(_, i)| i).sum::<u64>());
+        prop_assert!(fs.peak_active <= g.n() as u64);
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (oe, se) = eng.run(|_, _| HoldAndRelay {
+                hold_left: 0,
+                pending: Vec::new(),
+                tokens_seen: 0,
+                invoked: 0,
+            });
+            prop_assert_eq!(&os, &oe, "outputs (threads={})", threads);
+            prop_assert_eq!(ss, se, "stats (threads={})", threads);
+            prop_assert_eq!(
+                fs, Executor::frontier_total(&eng),
+                "frontier stats (threads={})", threads
+            );
+        }
+    }
+
+    /// Frontier totals agree across engines for a real composite
+    /// algorithm too (BFS tree + MST: many intermediate runs).
+    #[test]
+    fn prop_mst_frontier_totals_identical((g, seed) in arb_graph()) {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        distributed_mst(&mut sim, &tau, 0, seed);
+        for threads in [1usize, 4] {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            distributed_mst(&mut eng, &tau_e, 0, seed);
+            prop_assert_eq!(
+                sim.frontier_total(),
+                Executor::frontier_total(&eng),
+                "cumulative frontier stats (threads={})", threads
+            );
+        }
+    }
+
     #[test]
     fn prop_cap_ablation_identical((g, _seed) in arb_graph(), cap in 1usize..4) {
         let mut sim = Simulator::new(&g);
@@ -248,5 +369,78 @@ proptest! {
         let (te, se) = build_bfs_tree(&mut eng, 0);
         prop_assert_eq!(ss, se, "stats at cap {}", cap);
         prop_assert_eq!(ts.parent, te.parent);
+    }
+}
+
+/// The dense-schedule reference, restored as a mode: the simulator's
+/// activation validator ticks every node every round (the pre-frontier
+/// schedule), asserting that would-be-skipped ticks are no-ops. All
+/// nine scenario algorithms must produce identical stats, outputs, and
+/// frontier accounting under both schedules — this is what catches an
+/// activation-*incorrect* program, which would drift identically on
+/// both frontier engines and so slip past the engine-vs-simulator
+/// properties above.
+#[test]
+fn all_algorithms_pass_the_activation_validator() {
+    let g = engine::scenario::build_graph("geometric", 64, 100, 7).expect("pinned family");
+    let params = engine::scenario::AlgoParams {
+        eps: 0.5,
+        k: 2,
+        net_delta: 0,
+        net_slack: 0.5,
+    };
+    for algorithm in engine::scenario::ALGORITHMS {
+        let mut plain = Simulator::new(&g);
+        let (stats_p, _, metric_p) =
+            engine::scenario::drive(&mut plain, algorithm, &params, 7).expect("runs");
+        let mut validated = Simulator::new(&g);
+        validated.set_validate_activation(true);
+        let (stats_v, _, metric_v) =
+            engine::scenario::drive(&mut validated, algorithm, &params, 7).expect("runs");
+        assert_eq!(
+            stats_p, stats_v,
+            "{algorithm}: dense schedule changed stats"
+        );
+        assert_eq!(
+            metric_p, metric_v,
+            "{algorithm}: dense schedule changed output"
+        );
+        assert_eq!(
+            plain.frontier_total(),
+            validated.frontier_total(),
+            "{algorithm}: frontier accounting differs under validation"
+        );
+    }
+}
+
+/// A BFS wave over a long path is the canonical frontier workload: the
+/// run needs ~n rounds but each node is active only O(1) of them.
+/// Skipping the idle rounds must leave outputs and `RunStats` exactly
+/// as a dense schedule would (pinned analytically here), while the
+/// invocation count drops from Θ(n²) to Θ(n).
+#[test]
+fn path_wave_skips_idle_rounds_without_changing_outputs() {
+    let n = 96;
+    let g = generators::path(n, 1);
+    let mut sim = Simulator::new(&g);
+    let (tree, stats) = build_bfs_tree(&mut sim, 0);
+    // Dense-schedule facts, independent of frontier scheduling: the
+    // wave takes one round per hop plus the child-notification drain.
+    assert_eq!(tree.height(), n as u64 - 1);
+    assert_eq!(stats.rounds, n as u64 + 1);
+    let f = sim.frontier_total();
+    assert!(
+        f.invocations <= 4 * n as u64,
+        "wave must cost O(n) invocations, got {} (dense would be {})",
+        f.invocations,
+        stats.rounds * n as u64
+    );
+    // The engine schedules the identical frontier.
+    for threads in THREADS {
+        let mut eng = Engine::with_threads(&g, threads);
+        let (te, se) = build_bfs_tree(&mut eng, 0);
+        assert_eq!(te.parent, tree.parent, "threads={threads}");
+        assert_eq!(se, stats, "threads={threads}");
+        assert_eq!(Executor::frontier_total(&eng), f, "threads={threads}");
     }
 }

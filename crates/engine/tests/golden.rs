@@ -1,7 +1,10 @@
 //! Golden-file test for the scenario runner: `scenarios/quick.toml` is
 //! executed in-process (both output formats) and the rows must match
 //! the committed fixtures byte-for-byte after scrubbing the two
-//! machine-dependent fields (`wall_ms`, `threads`).
+//! machine-dependent fields (`wall_ms`, `threads`) and the two
+//! frontier-bookkeeping fields (`active_peak`, `active_mean` — they
+//! are deterministic, but scrubbed so fixtures pin the *simulated*
+//! algorithm, not the scheduler's accounting).
 //!
 //! Everything else — field order, seeds, graph sizes, round and message
 //! counts, headline metrics, engine instrumentation peaks — is pinned:
@@ -44,9 +47,15 @@ fn scrub_json_field(line: &str, key: &str) -> String {
     format!("{}_{}", &line[..vstart], &line[vend..])
 }
 
+const SCRUBBED_FIELDS: [&str; 4] = ["wall_ms", "threads", "active_peak", "active_mean"];
+
 fn scrub_jsonl(out: &str) -> String {
     out.lines()
-        .map(|l| scrub_json_field(&scrub_json_field(l, "wall_ms"), "threads"))
+        .map(|l| {
+            SCRUBBED_FIELDS
+                .iter()
+                .fold(l.to_owned(), |line, key| scrub_json_field(&line, key))
+        })
         .collect::<Vec<_>>()
         .join("\n")
         + "\n"
@@ -59,10 +68,14 @@ fn scrub_csv(out: &str) -> String {
     let scrub_idx: Vec<usize> = header
         .split(',')
         .enumerate()
-        .filter(|(_, c)| *c == "wall_ms" || *c == "threads")
+        .filter(|(_, c)| SCRUBBED_FIELDS.contains(c))
         .map(|(i, _)| i)
         .collect();
-    assert_eq!(scrub_idx.len(), 2, "header carries wall_ms and threads");
+    assert_eq!(
+        scrub_idx.len(),
+        SCRUBBED_FIELDS.len(),
+        "header carries every scrubbed column"
+    );
     let mut result = vec![header];
     for line in lines {
         let mut fields: Vec<String> = line.split(',').map(str::to_owned).collect();
