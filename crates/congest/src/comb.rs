@@ -1,0 +1,150 @@
+//! The per-directed-edge combining queue shared by both engines
+//! (determinism-contract clause 7).
+//!
+//! Like [`for_each_active`](crate::exec::for_each_active) for the
+//! activation contract, this is the *single* implementation of the
+//! combining semantics: the sequential [`Simulator`](crate::Simulator)
+//! and the parallel engine both stage and pop through [`CombQueue`],
+//! so the merge rules (which message absorbs which, and where the
+//! survivor sits in the FIFO) cannot drift between the oracle and an
+//! engine.
+//!
+//! Semantics: a staged message carrying `Some(key)` merges into the
+//! queued, undelivered message with the same key on the same edge, if
+//! one exists — the merged message **keeps the earlier message's queue
+//! position**, so it is delivered no later than the message it grew
+//! from. At most one entry per key is ever queued. Messages staged
+//! with `None` (no combiner, or an uncombinable payload) always append.
+
+use crate::message::Word;
+use std::collections::{HashMap, VecDeque};
+
+/// A FIFO of `T` payloads with per-key in-place merging. The payload is
+/// engine-specific (the simulator queues full `Message`s, the parallel
+/// engine queues inline word arrays); the key/position bookkeeping is
+/// shared.
+#[derive(Debug)]
+pub struct CombQueue<T> {
+    /// Queued entries, front = next to deliver.
+    q: VecDeque<(Option<Word>, T)>,
+    /// Entries popped from this queue over its lifetime; the entry at
+    /// index `i` has absolute sequence number `popped + i`.
+    popped: u64,
+    /// Key → absolute sequence number of the (unique) queued entry
+    /// carrying it. Empty until the first keyed message, so unkeyed
+    /// programs pay no allocation.
+    index: HashMap<Word, u64>,
+}
+
+impl<T> CombQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        CombQueue {
+            q: VecDeque::new(),
+            popped: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Number of queued (undelivered) entries.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether no entry is queued.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Stages one message. If `key` is `Some` and an entry with the
+    /// same key is queued, `merge(queued, item)` updates that entry in
+    /// place (keeping its queue position) and `true` is returned — the
+    /// staged message was absorbed. Otherwise the item is appended and
+    /// `false` is returned.
+    pub fn stage(&mut self, key: Option<Word>, item: T, merge: impl FnOnce(&mut T, T)) -> bool {
+        if let Some(k) = key {
+            if let Some(&seq) = self.index.get(&k) {
+                let slot = (seq - self.popped) as usize;
+                merge(&mut self.q[slot].1, item);
+                return true;
+            }
+            self.index.insert(k, self.popped + self.q.len() as u64);
+        }
+        self.q.push_back((key, item));
+        false
+    }
+
+    /// Pops the front entry, releasing its key for future stagings.
+    pub fn pop(&mut self) -> Option<(Option<Word>, T)> {
+        let (key, item) = self.q.pop_front()?;
+        self.popped += 1;
+        if let Some(k) = key {
+            self.index.remove(&k);
+        }
+        Some((key, item))
+    }
+}
+
+impl<T> Default for CombQueue<T> {
+    fn default() -> Self {
+        CombQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unkeyed_entries_form_a_plain_fifo() {
+        let mut q: CombQueue<u64> = CombQueue::new();
+        assert!(!q.stage(None, 1, |_, _| unreachable!()));
+        assert!(!q.stage(None, 2, |_, _| unreachable!()));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((None, 1)));
+        assert_eq!(q.pop(), Some((None, 2)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_key_merges_in_place_keeping_position() {
+        let mut q: CombQueue<u64> = CombQueue::new();
+        assert!(!q.stage(Some(7), 10, |_, _| unreachable!()));
+        assert!(!q.stage(None, 99, |_, _| unreachable!()));
+        assert!(q.stage(Some(7), 3, |old, new| *old = (*old).min(new)));
+        assert_eq!(q.len(), 2, "merge adds no entry");
+        assert_eq!(q.pop(), Some((Some(7), 3)), "survivor kept slot 0");
+        assert_eq!(q.pop(), Some((None, 99)));
+    }
+
+    #[test]
+    fn popped_key_can_be_staged_again() {
+        let mut q: CombQueue<u64> = CombQueue::new();
+        q.stage(Some(1), 5, |_, _| unreachable!());
+        assert_eq!(q.pop(), Some((Some(1), 5)));
+        assert!(!q.stage(Some(1), 6, |_, _| unreachable!()), "fresh entry");
+        assert!(q.stage(Some(1), 2, |old, new| *old = (*old).min(new)));
+        assert_eq!(q.pop(), Some((Some(1), 2)));
+    }
+
+    #[test]
+    fn distinct_keys_never_merge() {
+        let mut q: CombQueue<u64> = CombQueue::new();
+        assert!(!q.stage(Some(1), 5, |_, _| unreachable!()));
+        assert!(!q.stage(Some(2), 6, |_, _| unreachable!()));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn merge_targets_mid_queue_slots_after_pops() {
+        let mut q: CombQueue<u64> = CombQueue::new();
+        q.stage(None, 0, |_, _| unreachable!());
+        q.stage(None, 1, |_, _| unreachable!());
+        q.stage(Some(9), 40, |_, _| unreachable!());
+        q.pop();
+        // Key 9 now sits at index 1 (absolute seq 2, popped 1).
+        assert!(q.stage(Some(9), 30, |old, new| *old = (*old).min(new)));
+        assert_eq!(q.pop(), Some((None, 1)));
+        assert_eq!(q.pop(), Some((Some(9), 30)));
+    }
+}

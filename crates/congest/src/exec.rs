@@ -32,9 +32,26 @@
 //! 6. Execution stops at the first round boundary where all queues are
 //!    empty and every program is quiescent (equivalently: the charged
 //!    edge set and the non-quiescent carryover set are both empty);
-//!    [`RunStats`] count the delivered messages and executed rounds.
+//!    [`RunStats`] count the sent messages and executed rounds.
+//! 7. **Per-edge message combining.** When the program declares a
+//!    combiner ([`Program::combine_key`]), a staged message whose key
+//!    matches a message still queued on the same directed edge is
+//!    merged into it *at enqueue time* via [`Program::combine`]; the
+//!    merged message keeps the earlier message's queue position, so at
+//!    most one message per `(directed edge, key)` is ever queued.
+//!    Engines must route every staging through the shared
+//!    [`CombQueue`](crate::CombQueue) so the merge semantics cannot
+//!    drift. Absorbed messages count in `RunStats::messages` (they were
+//!    sent) and in `RunStats::messages_combined` (they were not
+//!    delivered individually); the physical delivery volume is
+//!    `RunStats::messages_delivered()`. Combining is a deterministic
+//!    function of the execution, exactly like the clause-5 active sets:
+//!    a combine-correct program (see [`Program`]) produces the same
+//!    outputs, `RunStats`, and [`FrontierStats`] on every conforming
+//!    engine — and where the bandwidth cap was the round bottleneck,
+//!    the shortened backlog legitimately shortens the run.
 //!
-//! Any engine honoring 1–6 produces bit-identical per-node outputs and
+//! Any engine honoring 1–7 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the
 //! parallel engine stand in for the simulator in experiments that
 //! report the paper's round counts. Because the active set of clause 5

@@ -24,7 +24,11 @@
 //! * [`tree`] — distributed BFS-tree construction (the tree τ of §2),
 //! * [`collective`] — Lemma-1 collectives: pipelined broadcast to all
 //!   vertices in `O(M + D)` rounds and combining convergecast
-//!   (watermark-merged, `O(M + D)` rounds).
+//!   (watermark-merged, `O(M + D)` rounds),
+//! * [`CombQueue`] — the shared per-edge combining queue behind the
+//!   opt-in clause-7 message combiner ([`Program::combine_key`]):
+//!   relaxation-style programs collapse co-queued superseded updates
+//!   instead of delivering the full churn.
 //!
 //! # Example: flooding a token
 //!
@@ -62,9 +66,11 @@ pub mod exec;
 pub mod program;
 pub mod tree;
 
+mod comb;
 mod message;
 mod sim;
 
+pub use comb::CombQueue;
 pub use exec::{for_each_active, Executor};
 pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
 pub use program::{Ctx, FrontierStats, Program, RunStats};

@@ -52,9 +52,11 @@ impl Message {
         self.words.len()
     }
 
-    /// Always false (messages have at least one word).
+    /// Whether the message has no words. [`Message::words`] rejects
+    /// empty payloads, so this is `false` for every constructed
+    /// message; it exists so `len` comes with the conventional pair.
     pub fn is_empty(&self) -> bool {
-        false
+        self.words.is_empty()
     }
 }
 

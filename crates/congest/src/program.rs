@@ -7,7 +7,7 @@
 //! [`Executor`](crate::Executor) — and produce bit-identical outputs
 //! and statistics.
 
-use crate::message::Message;
+use crate::message::{Message, Word};
 use lightgraph::{EdgeId, NodeId, Weight};
 
 /// Round and message counts for one run (or accumulated over several —
@@ -16,8 +16,16 @@ use lightgraph::{EdgeId, NodeId, Weight};
 pub struct RunStats {
     /// Number of communication rounds executed.
     pub rounds: u64,
-    /// Number of messages delivered.
+    /// Number of logical messages sent (one per [`Ctx::send`]). Without
+    /// a combiner every sent message is also delivered, so this equals
+    /// the delivered count; with one (contract clause 7), the
+    /// [`RunStats::messages_combined`] of them were merged into a
+    /// co-queued message instead of crossing the edge individually.
     pub messages: u64,
+    /// Messages absorbed by per-edge combining instead of being
+    /// delivered individually (see [`Program::combine_key`]). Always 0
+    /// for programs without a combiner.
+    pub messages_combined: u64,
 }
 
 impl RunStats {
@@ -25,6 +33,23 @@ impl RunStats {
     pub fn absorb(&mut self, other: RunStats) {
         self.rounds += other.rounds;
         self.messages += other.messages;
+        self.messages_combined += other.messages_combined;
+    }
+
+    /// Messages physically delivered to inboxes: every sent message
+    /// that was not merged away by a combiner.
+    pub fn messages_delivered(&self) -> u64 {
+        self.messages - self.messages_combined
+    }
+
+    /// The difference `self - start` — phase accounting for composite
+    /// algorithms (`let start = sim.total(); …; sim.total().since(start)`).
+    pub fn since(&self, start: RunStats) -> RunStats {
+        RunStats {
+            rounds: self.rounds - start.rounds,
+            messages: self.messages - start.messages,
+            messages_combined: self.messages_combined - start.messages_combined,
+        }
     }
 }
 
@@ -187,6 +212,46 @@ impl<'a> Ctx<'a> {
 /// once after each `round` invocation (for that node); it takes `&self`
 /// and must be a pure function of the program state — the cached answer
 /// of a skipped node is reused until its next activation.
+///
+/// # Per-edge message combining (opt-in)
+///
+/// A program whose message streams carry *superseding* information —
+/// relaxation-style distance updates, idempotent marks, monotone table
+/// pushes — may declare a **combiner** by overriding
+/// [`Program::combine_key`] and [`Program::combine`]. When a staged
+/// message's key matches a message still queued (undelivered) on the
+/// same directed edge, engines merge the two in place instead of
+/// queueing a second copy; the merged message keeps the earlier
+/// message's queue position (see clause 7 of the
+/// [`Executor`](crate::Executor) contract). This shrinks delivered
+/// message volume — and, when the bandwidth cap was the bottleneck,
+/// the backlog and therefore the round count — at the source.
+///
+/// A declared combiner must be **combine-correct**:
+///
+/// * `combine` is associative and commutative per key, and
+///   *key-stable*: `combine_key(combine(a, b)) == combine_key(a)`
+///   whenever `combine_key(a) == combine_key(b)`. Both are pure
+///   functions of the message (and immutable program configuration).
+/// * the merged message must *dominate* the messages it absorbed: the
+///   program's final outputs must not depend on receiving the absorbed
+///   messages individually. Canonically the merge keeps a componentwise
+///   minimum/maximum, so delivering only the survivor leads the
+///   receiver to the same fixed point.
+///
+/// Combining never affects programs that do not opt in, and it is
+/// applied identically by every conforming engine, so outputs,
+/// [`RunStats`], and [`FrontierStats`] remain bit-identical *across
+/// engines*. Relative to an uncombined run of the same program: when
+/// the cap does not bind (every same-round batch would have been
+/// delivered together anyway), combining is observable only in
+/// [`RunStats::messages_combined`]; when the cap binds, queues drain
+/// in fewer rounds — the intended speedup — and a combine-correct
+/// program reaches the same outputs along the compressed schedule.
+/// The simulator's validation mode
+/// ([`Simulator::set_validate_activation`](crate::Simulator::set_validate_activation))
+/// re-folds every merged delivery in reverse order and panics when the
+/// result differs — catching non-associative or non-commutative merges.
 pub trait Program {
     /// Per-node result collected by [`Executor::run`](crate::Executor::run).
     type Output;
@@ -207,6 +272,27 @@ pub trait Program {
     /// for the full activation contract.
     fn is_quiescent(&self) -> bool {
         true
+    }
+
+    /// Combining key for `msg` on its outgoing edge, or `None` (the
+    /// default) to always deliver the message verbatim. Returning
+    /// `Some(k)` opts the message into per-edge combining: if a message
+    /// with the same key is still queued on the same directed edge, the
+    /// two are merged with [`Program::combine`]. See the trait docs for
+    /// the combine-correctness obligations.
+    fn combine_key(&self, msg: &Message) -> Option<Word> {
+        let _ = msg;
+        None
+    }
+
+    /// Merges `incoming` into the co-queued `queued` message carrying
+    /// the same [`Program::combine_key`]. Must be associative,
+    /// commutative, and key-stable (see the trait docs); the default
+    /// panics, so it must be overridden whenever `combine_key` can
+    /// return `Some`.
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        let _ = (queued, incoming);
+        unreachable!("Program::combine must be overridden when combine_key returns Some")
     }
 
     /// Consumes the program and yields its output after the run.

@@ -1,11 +1,83 @@
 //! The sequential reference engine: per-edge FIFO queues with a
 //! bandwidth cap, frontier-scheduled rounds.
 
+use crate::comb::CombQueue;
 use crate::exec::Executor;
 use crate::message::Message;
 use crate::program::{Ctx, FrontierStats, Program, RunStats};
 use lightgraph::{EdgeId, Graph, NodeId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+
+/// One queued message in the simulator: the sender, the (possibly
+/// merged) payload, and — in validation mode only — the logical
+/// messages the payload absorbed, for the combiner re-fold check.
+struct QueuedMsg {
+    from: NodeId,
+    msg: Message,
+    originals: Vec<Message>,
+}
+
+/// Stages one message on a directed-edge queue, combining per contract
+/// clause 7; returns `true` when the message was absorbed into a
+/// co-queued message instead of appending.
+fn stage_message<P: Program>(
+    q: &mut CombQueue<QueuedMsg>,
+    p: &P,
+    from: NodeId,
+    msg: Message,
+    validate: bool,
+) -> bool {
+    let key = p.combine_key(&msg);
+    q.stage(
+        key,
+        QueuedMsg {
+            from,
+            msg,
+            originals: Vec::new(),
+        },
+        |old, new| {
+            if validate && old.originals.is_empty() {
+                old.originals.push(old.msg.clone());
+            }
+            let merged = p.combine(&old.msg, &new.msg);
+            if validate {
+                assert_eq!(
+                    p.combine_key(&merged),
+                    key,
+                    "combiner contract violated: node {from}'s merge changed the combining key"
+                );
+                old.originals.push(new.msg);
+            } else {
+                debug_assert_eq!(p.combine_key(&merged), key, "combiner changed the key");
+            }
+            old.msg = merged;
+        },
+    )
+}
+
+/// Validation-mode re-fold: merging the retained logical messages in
+/// reverse order must reproduce the incrementally merged survivor —
+/// anything else means the combiner is order-sensitive (not
+/// associative/commutative), which would break engine-bit-identity on
+/// a different staging schedule.
+fn refold_check<P: Program>(p: &P, entry: &QueuedMsg) {
+    let mut acc = entry
+        .originals
+        .last()
+        .expect("refold needs originals")
+        .clone();
+    for m in entry.originals.iter().rev().skip(1) {
+        acc = p.combine(&acc, m);
+    }
+    assert_eq!(
+        acc,
+        entry.msg,
+        "combiner contract violated: re-folding node {}'s {} messages in reverse order \
+         yields a different survivor — Program::combine is not associative/commutative",
+        entry.from,
+        entry.originals.len()
+    );
+}
 
 /// The CONGEST network simulator.
 ///
@@ -100,8 +172,9 @@ impl<'g> Simulator<'g> {
         self.max_rounds = max_rounds;
     }
 
-    /// Enables the activation-contract validator (off by default;
-    /// inherited by sub-executors).
+    /// Enables the dense-validation mode (off by default; inherited by
+    /// sub-executors): the activation-contract validator plus the
+    /// combiner-contract validator.
     ///
     /// In validation mode every round is a **dense** sweep: nodes the
     /// frontier scheduler would skip are *also* ticked, with an empty
@@ -111,8 +184,16 @@ impl<'g> Simulator<'g> {
     /// passes a validated run behaves identically under frontier and
     /// dense scheduling, except for deliberate output-only bookkeeping
     /// such as counting its own invocations (which the validator cannot
-    /// and does not check). Costs the dense `rounds × n` schedule —
-    /// meant for tests, not sweeps.
+    /// and does not check).
+    ///
+    /// Validation additionally audits declared combiners (contract
+    /// clause 7): every queue entry keeps the logical messages it
+    /// absorbed, and at delivery the merge is re-folded in reverse
+    /// order — a non-associative or non-commutative
+    /// [`Program::combine`] yields a different survivor and panics. A
+    /// merge that changes the combining key panics immediately at
+    /// enqueue. Costs the dense `rounds × n` schedule plus the retained
+    /// originals — meant for tests, not sweeps.
     pub fn set_validate_activation(&mut self, validate: bool) {
         self.validate_activation = validate;
     }
@@ -165,8 +246,8 @@ impl<'g> Simulator<'g> {
         let n = self.graph.n();
         let mut programs: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         // queue index = 2 * edge_id + dir, dir 0 = u->v.
-        let mut queues: Vec<VecDeque<(NodeId, Message)>> =
-            vec![VecDeque::new(); 2 * self.graph.m()];
+        let mut queues: Vec<CombQueue<QueuedMsg>> =
+            (0..2 * self.graph.m()).map(|_| CombQueue::new()).collect();
         let mut stats = RunStats::default();
         let mut frontier = FrontierStats::default();
         let mut staged: Vec<(NodeId, Message)> = Vec::new();
@@ -194,17 +275,20 @@ impl<'g> Simulator<'g> {
         let mut carry: Vec<NodeId> = Vec::new();
 
         // init
+        let validate = self.validate_activation;
         for (v, p) in programs.iter_mut().enumerate() {
             let mut ctx = Ctx::new(v, n, 0, self.graph.neighbors(v), &mut staged);
             p.init(&mut ctx);
             for (to, msg) in staged.drain(..) {
                 let qi = queue_index(&self.edge_of, v, to);
-                if !charged[qi] {
+                stats.messages += 1;
+                if stage_message(&mut queues[qi], &*p, v, msg, validate) {
+                    stats.messages_combined += 1;
+                } else if !charged[qi] {
                     charged[qi] = true;
                     charged_list.push(qi);
                     charged_dirty = true;
                 }
-                queues[qi].push_back((v, msg));
             }
             if !p.is_quiescent() {
                 carry.push(v);
@@ -246,10 +330,12 @@ impl<'g> Simulator<'g> {
                     delivered.push((target, ()));
                 }
                 for _ in 0..self.cap {
-                    match queues[qi].pop_front() {
-                        Some((from, msg)) => {
-                            stats.messages += 1;
-                            inboxes[target].push((from, msg));
+                    match queues[qi].pop() {
+                        Some((_, entry)) => {
+                            if validate && entry.originals.len() > 1 {
+                                refold_check(&programs[entry.from], &entry);
+                            }
+                            inboxes[target].push((entry.from, entry.msg));
                         }
                         None => break,
                     }
@@ -289,12 +375,14 @@ impl<'g> Simulator<'g> {
                 active_count += 1;
                 for (to, msg) in staged.drain(..) {
                     let qi = queue_index(&self.edge_of, v, to);
-                    if !charged[qi] {
+                    stats.messages += 1;
+                    if stage_message(&mut queues[qi], &*p, v, msg, validate) {
+                        stats.messages_combined += 1;
+                    } else if !charged[qi] {
                         charged[qi] = true;
                         charged_list.push(qi);
                         charged_dirty = true;
                     }
-                    queues[qi].push_back((v, msg));
                 }
                 if !p.is_quiescent() {
                     next_carry.push(v);
@@ -645,6 +733,131 @@ mod tests {
             RunStats::default(),
             "sub stats are independent"
         );
+    }
+
+    /// Node 0 stages `k` messages sharing one combining key in a single
+    /// burst; the declared min-combiner must collapse them to one
+    /// queued survivor (contract clause 7).
+    struct KeyedBurst {
+        k: u64,
+        got: Vec<u64>,
+    }
+
+    impl Program for KeyedBurst {
+        type Output = Vec<u64>;
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                for i in 0..self.k {
+                    ctx.send(1, Message::words(&[5, 100 - i]));
+                }
+            }
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            for (_, m) in inbox {
+                self.got.push(m.word(1));
+            }
+        }
+        fn combine_key(&self, msg: &Message) -> Option<crate::message::Word> {
+            Some(msg.word(0))
+        }
+        fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+            Message::words(&[queued.word(0), queued.word(1).min(incoming.word(1))])
+        }
+        fn finish(self) -> Vec<u64> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn combiner_collapses_a_same_key_burst() {
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        let (out, stats) = sim.run(|_, _| KeyedBurst {
+            k: 10,
+            got: Vec::new(),
+        });
+        assert_eq!(stats.messages, 10, "every send is a logical message");
+        assert_eq!(stats.messages_combined, 9, "nine merged into the first");
+        assert_eq!(stats.messages_delivered(), 1);
+        assert_eq!(stats.rounds, 1, "the backlog collapsed to one round");
+        assert_eq!(out[1], vec![91], "survivor carries the key-wise min");
+    }
+
+    #[test]
+    fn validation_mode_accepts_a_lawful_combiner() {
+        let g = generators::path(4, 1);
+        let mut plain = Simulator::new(&g);
+        let (out_p, stats_p) = plain.run(|_, _| KeyedBurst {
+            k: 6,
+            got: Vec::new(),
+        });
+        let mut validated = Simulator::new(&g);
+        validated.set_validate_activation(true);
+        let (out_v, stats_v) = validated.run(|_, _| KeyedBurst {
+            k: 6,
+            got: Vec::new(),
+        });
+        assert_eq!(out_p, out_v);
+        assert_eq!(stats_p, stats_v);
+        assert!(stats_v.messages_combined > 0, "the combiner actually fired");
+    }
+
+    #[test]
+    #[should_panic(expected = "not associative/commutative")]
+    fn validation_mode_catches_an_order_sensitive_combiner() {
+        /// Merge = word-wise difference: commutes with nothing.
+        struct BadCombiner;
+        impl Program for BadCombiner {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.node() == 0 {
+                    ctx.send(1, Message::words(&[5, 40]));
+                    ctx.send(1, Message::words(&[5, 15]));
+                }
+            }
+            fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {}
+            fn combine_key(&self, msg: &Message) -> Option<crate::message::Word> {
+                Some(msg.word(0))
+            }
+            fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+                Message::words(&[
+                    queued.word(0),
+                    queued.word(1).saturating_sub(incoming.word(1)),
+                ])
+            }
+            fn finish(self) {}
+        }
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.set_validate_activation(true);
+        sim.run(|_, _| BadCombiner);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge changed the combining key")]
+    fn validation_mode_catches_a_key_unstable_combiner() {
+        struct KeyDrifter;
+        impl Program for KeyDrifter {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                if ctx.node() == 0 {
+                    ctx.send(1, Message::words(&[5, 1]));
+                    ctx.send(1, Message::words(&[5, 2]));
+                }
+            }
+            fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {}
+            fn combine_key(&self, msg: &Message) -> Option<crate::message::Word> {
+                Some(msg.word(0))
+            }
+            fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+                Message::words(&[queued.word(0) + 1, queued.word(1) + incoming.word(1)])
+            }
+            fn finish(self) {}
+        }
+        let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.set_validate_activation(true);
+        sim.run(|_, _| KeyDrifter);
     }
 
     use lightgraph::generators;

@@ -4,7 +4,7 @@
 //! construct a net with covering radius `ε∆/2` (Theorem 3 with
 //! `δ = 1/2`), then connect every pair of net points within `2∆` by an
 //! (approximate) shortest path, using bounded multi-source explorations
-//! with path reporting (the [EN16] path-reporting hopset substitute —
+//! with path reporting (the \[EN16\] path-reporting hopset substitute —
 //! the actual paths enter the spanner, and the packing property bounds
 //! how many explorations cross any vertex).
 //!
@@ -114,9 +114,7 @@ pub fn doubling_spanner(
 
     let mut edges: Vec<EdgeId> = chosen.into_iter().collect();
     edges.sort_unstable();
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     DoublingSpanner {
         edges,
         scales,

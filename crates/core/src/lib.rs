@@ -8,8 +8,8 @@
 //!
 //! | Object | Module | Guarantee |
 //! |---|---|---|
-//! | Light spanner (general graphs) | [`light_spanner`] | `(2k−1)(1+ε)` stretch, `O(k·n^{1+1/k})` edges, `O(k·n^{1/k})` lightness |
-//! | Shallow-Light Tree | [`slt`] | root stretch `1+O(ε)`, lightness `1+O(1/ε)` (and the inverse regime via [BFN16]) |
+//! | Light spanner (general graphs) | [`light_spanner()`] | `(2k−1)(1+ε)` stretch, `O(k·n^{1+1/k})` edges, `O(k·n^{1/k})` lightness |
+//! | Shallow-Light Tree | [`slt`] | root stretch `1+O(ε)`, lightness `1+O(1/ε)` (and the inverse regime via \[BFN16\]) |
 //! | `(α, β)`-nets | [`nets`] | `((1+δ)∆, ∆/(1+δ))`-net |
 //! | Doubling-graph spanner | [`doubling`] | `(1+O(ε))` stretch, lightness `ε^{-O(ddim)}·log n` |
 //!

@@ -8,7 +8,7 @@
 //! * bucket `E_i` (weights in `(L/(1+ε)^{i+1}, L/(1+ε)^i]`): the graph
 //!   is partitioned into clusters of weak diameter `ε·w_i` using the
 //!   Euler tour of the MST, and the Elkin–Neiman unweighted spanner
-//!   [EN17b] is *simulated on the cluster graph* `G_i` whose vertices
+//!   \[EN17b\] is *simulated on the cluster graph* `G_i` whose vertices
 //!   are clusters and whose edges come from `E_i`,
 //! * plus the MST itself.
 //!
@@ -509,6 +509,7 @@ fn simulate_case2(
     sim.charge(RunStats {
         rounds: max_interval + max_selected,
         messages: per_cluster_source.len() as u64,
+        ..RunStats::default()
     });
 }
 
@@ -653,9 +654,7 @@ pub fn light_spanner(
 
     let mut edges: Vec<EdgeId> = chosen.into_iter().collect();
     edges.sort_unstable();
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     LightSpannerResult {
         edges,
         case1_buckets,

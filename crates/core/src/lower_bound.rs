@@ -1,6 +1,6 @@
 //! The lower-bound reduction (§8, Theorem 7).
 //!
-//! Das Sarma et al. [SHK+12] showed that approximating the MST weight to
+//! Das Sarma et al. \[SHK+12\] showed that approximating the MST weight to
 //! within polynomial factors needs `Ω̃(√n)` rounds; since SLTs and light
 //! spanners certify such an approximation (Theorem 6), so do they. For
 //! nets, Theorem 7 exhibits an explicit reduction: computing
@@ -58,9 +58,7 @@ pub fn estimate_mst_weight(sim: &mut impl Executor, tau: &BfsTree, seed: u64) ->
         i += 1;
         assert!(i < 64, "scale overflow — weights beyond poly(n)?");
     }
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     MstWeightEstimate {
         psi,
         scales,

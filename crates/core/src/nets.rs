@@ -6,7 +6,7 @@
 //!
 //! 1. sample a permutation π (a broadcast seed),
 //! 2. compute LE lists of the active vertices w.r.t. an auxiliary
-//!    `(1+δ)`-approximation `H` ([FL16] substitute, see `dist-sssp`),
+//!    `(1+δ)`-approximation `H` (\[FL16\] substitute, see `dist-sssp`),
 //! 3. every active vertex that is first in π within its `∆`-ball
 //!    (w.r.t. `H`) joins the net,
 //! 4. a bounded multi-source exploration from the new net points
@@ -106,9 +106,7 @@ pub fn net(
     }
 
     points.sort_unstable();
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     NetResult {
         points,
         iterations,

@@ -15,7 +15,7 @@
 //!
 //! Corollary 3 gives `w(H) ≤ (1 + 4/ε)·w(T)`; Lemma 4 gives root
 //! stretch `1 + O(ε)`. The inverse tradeoff (lightness `1+γ`, stretch
-//! `O(1/γ)`) is obtained by the [BFN16] reweighting reduction
+//! `O(1/γ)`) is obtained by the \[BFN16\] reweighting reduction
 //! ([`light_slt`], §4.4, Lemma 5).
 
 use crate::tour_sweep::{tour_sweep, Direction, TourRouting};
@@ -67,6 +67,18 @@ impl Program for MarkUp {
                 ctx.send(p, Message::words(&[TAG_MARK]));
             }
         }
+    }
+    /// Marks are idempotent: co-queued duplicates collapse to one.
+    /// (Each node marks at most once, so this fires only under caps
+    /// larger than the mark fan-in — declared for completeness; the
+    /// SLT's message volume lives in its `approx_spt` phases, whose
+    /// multi-source relaxation combiner does the heavy lifting.)
+    fn combine_key(&self, msg: &Message) -> Option<congest::Word> {
+        debug_assert_eq!(msg.word(0), TAG_MARK);
+        Some(TAG_MARK)
+    }
+    fn combine(&self, queued: &Message, _incoming: &Message) -> Message {
+        queued.clone()
     }
     fn finish(self) -> bool {
         self.marked
@@ -222,9 +234,7 @@ pub fn shallow_light_tree(
         .collect();
     edges.sort_unstable();
 
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     SltResult {
         root: rt,
         edges,
@@ -234,7 +244,7 @@ pub fn shallow_light_tree(
 }
 
 /// The inverse tradeoff (§4.4): lightness `1 + γ`, root stretch
-/// `O(1/γ)`, via the [BFN16] reweighting reduction (Lemma 5).
+/// `O(1/γ)`, via the \[BFN16\] reweighting reduction (Lemma 5).
 ///
 /// MST edges are scaled down by `δ = γ/5` (5 bounds the base
 /// algorithm's lightness at ε = 1), the base SLT runs on the reweighted
@@ -267,7 +277,7 @@ pub fn light_slt(g: &Graph, rt: NodeId, gamma: f64, seed: u64) -> (Vec<EdgeId>, 
     (edges, sim.total())
 }
 
-/// Sequential Khuller–Raghavachari–Young SLT [KRY95] — the optimal
+/// Sequential Khuller–Raghavachari–Young SLT \[KRY95\] — the optimal
 /// tradeoff baseline: lightness `1 + 2/ε`, root stretch `1 + ε`
 /// (stated there as lightness `α`, stretch `1 + 2/(α−1)`).
 pub fn kry_slt(g: &Graph, rt: NodeId, epsilon: f64) -> Vec<EdgeId> {

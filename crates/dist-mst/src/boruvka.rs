@@ -1,4 +1,4 @@
-//! Two-phase distributed MST (the [KP98]/[Elk17b] substitute of §3.1).
+//! Two-phase distributed MST (the \[KP98\]/\[Elk17b\] substitute of §3.1).
 //!
 //! Phase 1 grows *base fragments* by local star-merges with a diameter
 //! cap: every fragment maintains a spanning tree of real graph edges and
@@ -460,10 +460,8 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
     );
     let weight = mst_edges.iter().map(|&e| g.edge(e).w).sum();
 
-    let mut stats = sim.total();
     let _ = rt;
-    stats.rounds -= start_stats.rounds;
-    stats.messages -= start_stats.messages;
+    let stats = sim.total().since(start_stats);
 
     MstResult {
         mst_edges,

@@ -392,9 +392,7 @@ pub fn distributed_euler_tour(
         appearances[v].sort_unstable();
     }
 
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     DistEulerTour {
         appearances,
         total_length,

@@ -1,7 +1,7 @@
 //! Distributed MST and the Euler tour of the MST (paper §3).
 //!
 //! * [`boruvka`] — two-phase distributed MST producing the base-fragment
-//!   structure of [KP98]/[Elk17b] that §3 consumes: `O(√n)` fragments of
+//!   structure of \[KP98\]/\[Elk17b\] that §3 consumes: `O(√n)` fragments of
 //!   bounded hop-diameter, a fragment tree `T′`, and the external edges.
 //! * [`euler`] — the distributed Euler tour (Lemma 2): every vertex
 //!   learns its appearances in the preorder traversal `L` of the MST and

@@ -5,8 +5,20 @@
 //! deactivation of §6, and the ∆-bounded multi-source explorations of
 //! §7. Congestion from overlapping sources is charged automatically by
 //! the simulator's per-edge queues.
+//!
+//! Both programs declare a **per-edge combiner** (contract clause 7):
+//! relaxation messages for the same source supersede each other, so a
+//! staged update merges into the co-queued update for that source by
+//! componentwise minimum over `(distance, hops)` — the survivor
+//! dominates everything it absorbed. For unbounded runs the fixed
+//! point (and hence the outputs) is untouched; for hop-bounded runs
+//! the merged hop counter is never larger than any absorbed one, so
+//! the exploration reaches a (deterministic, engine-identical)
+//! superset of what an uncombined run reaches, with distances that are
+//! still genuine path lengths. The multi-source table churn this
+//! removes is what made SLT sweeps message-bound (see ROADMAP).
 
-use congest::{Ctx, Executor, Message, Program, RunStats};
+use congest::{pack2, Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::{NodeId, Weight, INF};
 use std::collections::HashMap;
 
@@ -81,6 +93,19 @@ impl Program for BellmanFord {
         }
     }
 
+    fn combine_key(&self, msg: &Message) -> Option<Word> {
+        debug_assert_eq!(msg.word(0), TAG_RELAX);
+        Some(TAG_RELAX)
+    }
+
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        Message::words(&[
+            TAG_RELAX,
+            queued.word(1).min(incoming.word(1)),
+            queued.word(2).min(incoming.word(2)),
+        ])
+    }
+
     fn finish(self) -> Self::Output {
         (self.dist, self.parent)
     }
@@ -97,6 +122,17 @@ pub fn bellman_ford(sim: &mut impl Executor, src: NodeId) -> SsspResult {
 
 /// Single-source Bellman–Ford restricted to distance ≤ `bound` and at
 /// most `hop_bound` relaxation rounds.
+///
+/// The hop bound is a *reach floor*, not a ceiling: the per-edge
+/// combiner (module docs) merges co-queued updates to the
+/// componentwise `(min distance, min hops)`, so a merged update may
+/// carry a smaller hop counter than the path behind its distance and
+/// travel further than an uncombined run would — every returned
+/// distance is still a genuine path length ≤ `bound`, and everything
+/// an uncombined run reaches is reached. (A single-source program
+/// stages at most one update per edge per round, so with the default
+/// cap the combiner never actually fires here; the caveat is live in
+/// [`multi_source_bounded`].)
 pub fn bounded_bellman_ford(
     sim: &mut impl Executor,
     src: NodeId,
@@ -212,17 +248,44 @@ impl Program for MultiBellmanFord {
         }
     }
 
+    /// One combining key per source: updates for distinct sources never
+    /// merge, successive updates for the same source collapse to the
+    /// dominating `(min distance, min hops)` while they share a queue.
+    fn combine_key(&self, msg: &Message) -> Option<Word> {
+        debug_assert_eq!(msg.word(0), TAG_MRELAX);
+        Some(pack2(TAG_MRELAX, msg.word(1)))
+    }
+
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        debug_assert_eq!(queued.word(1), incoming.word(1), "same source");
+        Message::words(&[
+            TAG_MRELAX,
+            queued.word(1),
+            queued.word(2).min(incoming.word(2)),
+            queued.word(3).min(incoming.word(3)),
+        ])
+    }
+
     fn finish(self) -> Self::Output {
         self.table
     }
 }
 
 /// Multi-source distance/hop-bounded Bellman–Ford with per-source
-/// predecessor (path) reporting — the [EN16] hopset-exploration
+/// predecessor (path) reporting — the \[EN16\] hopset-exploration
 /// substitute used by §7 (see DESIGN.md).
 ///
 /// All sources explore in parallel; the per-edge bandwidth cap charges
 /// the congestion of overlapping explorations honestly.
+///
+/// Like [`bounded_bellman_ford`], `hop_bound` is a *reach floor*, not
+/// a ceiling: the per-source combiner merges co-queued updates
+/// componentwise, so the returned tables are a (deterministic,
+/// engine-identical) superset of an uncombined run's, with
+/// pointwise-≤ distances that are all genuine path lengths ≤ `bound`.
+/// With `hop_bound == u64::MAX` the tables are bit-identical to the
+/// uncombined fixed point. See the clause-7 audit in DESIGN.md for why
+/// the landmark SPT's exactness guarantees survive this.
 pub fn multi_source_bounded(
     sim: &mut impl Executor,
     sources: &[NodeId],

@@ -1,7 +1,7 @@
-//! Landmark-based approximate shortest-path trees — the [BKKL17]
+//! Landmark-based approximate shortest-path trees — the \[BKKL17\]
 //! substitute (see DESIGN.md §3).
 //!
-//! The paper uses the approximate SPT of Becker et al. [BKKL17], which
+//! The paper uses the approximate SPT of Becker et al. \[BKKL17\], which
 //! returns a tree `T_rt` with `d_G(rt,v) ≤ d_{T_rt}(rt,v) ≤ (1+ε)·
 //! d_G(rt,v)` in `Õ(√n + D)/poly(ε)` rounds. We reproduce the same
 //! interface with the classic landmark (hopset-flavoured) scheme:
@@ -19,7 +19,7 @@
 //! Because every `≥ √n`-hop shortest path contains a landmark in each
 //! `√n`-hop window w.h.p., the estimates are *exact* w.h.p.; the
 //! optional `epsilon` knob quantizes the reported estimates upward to
-//! emulate the (1+ε) slack of [BKKL17] and exercise downstream
+//! emulate the (1+ε) slack of \[BKKL17\] and exercise downstream
 //! tolerance (the tree itself stays consistent).
 
 use crate::bellman::multi_source_bounded;
@@ -295,9 +295,7 @@ pub fn approx_spt(
         *d = quantize(*d, cfg.epsilon);
     }
 
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     ApproxSpt {
         root: rt,
         dist,

@@ -1,4 +1,4 @@
-//! Distributed Least-Element lists (Cohen [Coh97]; the [FL16]
+//! Distributed Least-Element lists (Cohen \[Coh97\]; the \[FL16\]
 //! substitute — see DESIGN.md §3).
 //!
 //! Given a permutation π over an active set `A ⊆ V`, the LE list of `v`
@@ -9,10 +9,10 @@
 //! ```
 //!
 //! i.e. `u` enters `v`'s list if it is first in π among all active
-//! vertices within distance `d(v,u)` of `v`. Khan et al. [KKM+12] show
+//! vertices within distance `d(v,u)` of `v`. Khan et al. \[KKM+12\] show
 //! the lists have `O(log n)` entries w.h.p. over π.
 //!
-//! [FL16] compute the lists w.r.t. an auxiliary graph `H` with
+//! \[FL16\] compute the lists w.r.t. an auxiliary graph `H` with
 //! `d_G ≤ d_H ≤ (1+δ)·d_G`; we reproduce that by an optional per-edge
 //! weight stretch (each edge's `H`-weight is `w·(1 + δ·u(e))` for a
 //! seed-hashed `u(e) ∈ [0,1]`), and compute the lists by distributed
@@ -24,7 +24,7 @@
 
 use congest::collective;
 use congest::tree::BfsTree;
-use congest::{Ctx, Executor, Message, Program, RunStats};
+use congest::{pack2, Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::{NodeId, Weight};
 use std::collections::HashMap;
 
@@ -141,6 +141,28 @@ impl Program for LeProgram {
         }
     }
 
+    /// Per-edge combiner (contract clause 7): triples for the same
+    /// origin vertex supersede each other (the rank is a function of
+    /// the vertex), so co-queued ones collapse to the minimum distance.
+    /// The LE list is the order-independent non-dominated fixed point,
+    /// so delivering only the dominating triple leaves outputs
+    /// untouched.
+    fn combine_key(&self, msg: &Message) -> Option<Word> {
+        debug_assert_eq!(msg.word(0), TAG_LE);
+        Some(pack2(TAG_LE, msg.word(2)))
+    }
+
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        debug_assert_eq!(queued.word(2), incoming.word(2), "same origin vertex");
+        debug_assert_eq!(queued.word(1), incoming.word(1), "rank is per-vertex");
+        Message::words(&[
+            TAG_LE,
+            queued.word(1),
+            queued.word(2),
+            queued.word(3).min(incoming.word(3)),
+        ])
+    }
+
     fn finish(mut self) -> Self::Output {
         self.list.sort_by_key(|&(_, _, d)| d);
         self.list
@@ -153,7 +175,7 @@ impl Program for LeProgram {
 /// every vertex derives its rank locally; relaxation proceeds until
 /// quiescence. `delta` stretches each edge weight by a hash-random
 /// factor in `[1, 1+delta]`, realizing the auxiliary graph `H` of
-/// [FL16] with `d_G ≤ d_H ≤ (1+δ)·d_G`.
+/// \[FL16\] with `d_G ≤ d_H ≤ (1+δ)·d_G`.
 pub fn le_lists(
     sim: &mut impl Executor,
     tau: &BfsTree,
@@ -197,9 +219,7 @@ pub fn le_lists(
         list: Vec::new(),
     });
 
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     LeLists {
         lists: lists
             .into_iter()

@@ -4,12 +4,12 @@
 //! spanners) of *Distributed Construction of Light Networks*:
 //!
 //! * [`bellman`] — exact and distance/hop-bounded Bellman–Ford, single
-//!   and multi source, with per-source path reporting (the [EN16]
+//!   and multi source, with per-source path reporting (the \[EN16\]
 //!   hopset-exploration substitute),
 //! * [`landmark`] — `Õ(√n + D)`-style approximate shortest-path trees
-//!   (the [BKKL17] substitute),
-//! * [`le_lists`] — distributed Cohen Least-Element lists w.r.t. an
-//!   auxiliary (1+δ)-approximation (the [FL16] substitute).
+//!   (the \[BKKL17\] substitute),
+//! * [`mod@le_lists`] — distributed Cohen Least-Element lists w.r.t. an
+//!   auxiliary (1+δ)-approximation (the \[FL16\] substitute).
 //!
 //! See DESIGN.md §3 for the substitution rationale.
 

@@ -1,31 +1,46 @@
 //! Perf-trajectory bench: runs a fixed pinned workload set on the
 //! parallel engine and writes machine-readable `BENCH_engine.json`, so
-//! before/after numbers for engine changes (e.g. frontier scheduling)
-//! land in the repository instead of a PR description.
+//! before/after numbers for engine changes (e.g. frontier scheduling,
+//! per-edge combining) land in the repository instead of a PR
+//! description.
 //!
 //! ```text
 //! bench                          # run the pinned set, write BENCH_engine.json
 //! bench --out path.json         # alternate output path
 //! bench --threads 4             # worker threads (default 1: the
 //!                               #   trajectory tracks one-core numbers)
-//! bench --quick                 # drop the slowest workloads (dev loop)
+//! bench --quick                 # the CI-gate subset (100k BFS + 1k/2k SLT)
+//! bench --check BASELINE.json   # re-run and diff the deterministic
+//!                               #   columns against a committed baseline;
+//!                               #   exit 1 on any drift (no file written)
 //! ```
+//!
+//! `--check` is the CI **bench-regression gate**: the deterministic
+//! columns (`rounds`, `messages`, `messages_combined`,
+//! `messages_delivered`, `invocations`, `active_peak`, `metric`, and
+//! the instance shape `m`) are contract-pinned and engine-identical,
+//! so any diff against `BENCH_engine.json` is a real behavior change —
+//! a silent message-volume or invocation regression fails the PR.
+//! Wall-clock columns (`wall_ms`, `rounds_per_sec`, `msgs_per_sec`)
+//! are machine-dependent and never compared. After an *intentional*
+//! change, regenerate the baseline by running `bench` without flags.
 //!
 //! The workload set is pinned — same families, sizes and seeds every
 //! run — so successive JSON snapshots are comparable:
 //!
 //! * geometric BFS at 100k, 500k and 1M nodes (round-bound; the
 //!   frontier-scheduling showcase), and
-//! * geometric SLT at 1k and 2k nodes. SLT is message-bound (~10⁸
-//!   messages at n=2k, see the scenario taper in
-//!   `scenarios/geometric_1m.toml`), so it rides at message-feasible
-//!   sizes until the multi-source table churn is profiled (ROADMAP).
+//! * geometric SLT at 1k, 2k and 4k nodes — the message-bound
+//!   workload. Per-edge combining (contract clause 7) collapses the
+//!   multi-source relaxation churn, which is what made n = 4k
+//!   feasible on one core.
 //!
 //! Each entry reports throughput (`rounds_per_sec`, `msgs_per_sec`,
-//! `wall_ms`) and the frontier-scheduling counters: `invocations`
-//! (`Program::round` calls actually executed) against
-//! `invocations_dense` (`rounds * n`, what a dense every-node
-//! scheduler would have executed) — the ratio is the scheduling win.
+//! `wall_ms`), the message-volume split (`messages` sent vs
+//! `messages_delivered` after combining), and the frontier-scheduling
+//! counters: `invocations` (`Program::round` calls actually executed)
+//! against `invocations_dense` (`rounds * n`, what a dense every-node
+//! scheduler would have executed).
 
 use congest::Executor;
 use engine::scenario::{build_graph, drive, AlgoParams};
@@ -35,25 +50,132 @@ use std::time::Instant;
 
 /// One pinned workload: (family, algorithm, n). All use seed 1 and the
 /// scenario runner's default parameters.
-const WORKLOADS: [(&str, &str, usize); 5] = [
+const WORKLOADS: [(&str, &str, usize); 6] = [
     ("geometric", "bfs", 100_000),
     ("geometric", "bfs", 500_000),
     ("geometric", "bfs", 1_000_000),
     ("geometric", "slt", 1_000),
     ("geometric", "slt", 2_000),
+    ("geometric", "slt", 4_000),
 ];
 
-/// Workloads kept under `--quick` (everything that finishes in a few
-/// seconds on one core).
-const QUICK: [(&str, &str, usize); 2] =
-    [("geometric", "bfs", 100_000), ("geometric", "slt", 1_000)];
+/// The `--quick` subset, used by the CI bench-regression gate: one
+/// frontier-bound workload (100k BFS) and the two message-bound SLT
+/// sizes small enough for a PR-latency run.
+const QUICK: [(&str, &str, usize); 3] = [
+    ("geometric", "bfs", 100_000),
+    ("geometric", "slt", 1_000),
+    ("geometric", "slt", 2_000),
+];
 
 const SEED: u64 = 1;
+
+/// Deterministic result columns of one workload run — everything the
+/// `--check` gate compares.
+struct Entry {
+    family: &'static str,
+    algorithm: &'static str,
+    n: usize,
+    m: usize,
+    rounds: u64,
+    messages: u64,
+    messages_combined: u64,
+    messages_delivered: u64,
+    invocations: u64,
+    invocations_dense: u64,
+    active_peak: u64,
+    active_mean: f64,
+    metric: u64,
+    wall: f64,
+}
+
+impl Entry {
+    fn to_json(&self, threads: usize) -> String {
+        format!(
+            "    {{\"family\":\"{family}\",\"algorithm\":\"{algorithm}\",\"n\":{n},\"m\":{m},\
+             \"seed\":{SEED},\"threads\":{threads},\"rounds\":{rounds},\"messages\":{messages},\
+             \"messages_combined\":{combined},\"messages_delivered\":{delivered},\
+             \"wall_ms\":{wall_ms:.1},\"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
+             \"invocations\":{inv},\"invocations_dense\":{dense},\
+             \"active_peak\":{peak},\"active_mean\":{mean:.3},\"metric\":{metric}}}",
+            family = self.family,
+            algorithm = self.algorithm,
+            n = self.n,
+            m = self.m,
+            rounds = self.rounds,
+            messages = self.messages,
+            combined = self.messages_combined,
+            delivered = self.messages_delivered,
+            wall_ms = self.wall * 1e3,
+            rps = self.rounds as f64 / self.wall.max(1e-9),
+            mps = self.messages_delivered as f64 / self.wall.max(1e-9),
+            inv = self.invocations,
+            dense = self.invocations_dense,
+            peak = self.active_peak,
+            mean = self.active_mean,
+            metric = self.metric,
+        )
+    }
+}
+
+/// Extracts `"key":<integer>` from a baseline JSON line.
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Diffs the deterministic columns of `entries` against the committed
+/// baseline; returns the list of human-readable mismatches.
+fn check_against_baseline(entries: &[Entry], baseline: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    for e in entries {
+        let tag = format!(
+            "\"family\":\"{}\",\"algorithm\":\"{}\",\"n\":{},",
+            e.family, e.algorithm, e.n
+        );
+        let Some(line) = baseline.lines().find(|l| l.contains(&tag)) else {
+            errors.push(format!(
+                "{} {} n={}: no baseline entry — regenerate BENCH_engine.json",
+                e.family, e.algorithm, e.n
+            ));
+            continue;
+        };
+        let columns: [(&str, u64); 8] = [
+            ("m", e.m as u64),
+            ("rounds", e.rounds),
+            ("messages", e.messages),
+            ("messages_combined", e.messages_combined),
+            ("messages_delivered", e.messages_delivered),
+            ("invocations", e.invocations),
+            ("active_peak", e.active_peak),
+            ("metric", e.metric),
+        ];
+        for (key, got) in columns {
+            match json_u64(line, key) {
+                Some(want) if want == got => {}
+                Some(want) => errors.push(format!(
+                    "{} {} n={}: {key} = {got}, baseline has {want}",
+                    e.family, e.algorithm, e.n
+                )),
+                None => errors.push(format!(
+                    "{} {} n={}: baseline lacks column `{key}` — regenerate BENCH_engine.json",
+                    e.family, e.algorithm, e.n
+                )),
+            }
+        }
+    }
+    errors
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench [--out PATH] [--threads N] [--quick]");
+        eprintln!("usage: bench [--out PATH] [--threads N] [--quick] [--check BASELINE]");
         return;
     }
     let flag_value = |name: &str| -> Option<String> {
@@ -66,6 +188,7 @@ fn main() {
         .map(|t| t.parse().expect("--threads takes a number"))
         .unwrap_or(1);
     let quick = args.iter().any(|a| a == "--quick");
+    let check_path = flag_value("--check");
 
     let workloads: Vec<(&str, &str, usize)> = if quick {
         QUICK.to_vec()
@@ -80,7 +203,7 @@ fn main() {
         net_slack: 0.5,
     };
 
-    let mut entries: Vec<String> = Vec::new();
+    let mut entries: Vec<Entry> = Vec::new();
     for (family, algorithm, n) in workloads {
         eprintln!("bench: {family} {algorithm} n={n} ...");
         let g = build_graph(family, n, 100, SEED).expect("pinned family");
@@ -94,38 +217,65 @@ fn main() {
         // rounds: analytical charge()s must not inflate the dense
         // baseline (identical for the pinned set, which charges none).
         let dense = frontier.rounds * n as u64;
-        let entry = format!(
-            "    {{\"family\":\"{family}\",\"algorithm\":\"{algorithm}\",\"n\":{n},\"m\":{m},\
-             \"seed\":{SEED},\"threads\":{threads},\"rounds\":{rounds},\"messages\":{messages},\
-             \"wall_ms\":{wall_ms:.1},\"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
-             \"invocations\":{inv},\"invocations_dense\":{dense},\
-             \"active_peak\":{peak},\"active_mean\":{mean:.3},\"metric\":{metric}}}",
-            m = g.m(),
-            rounds = stats.rounds,
-            messages = stats.messages,
-            wall_ms = wall * 1e3,
-            rps = stats.rounds as f64 / wall.max(1e-9),
-            mps = stats.messages as f64 / wall.max(1e-9),
-            inv = frontier.invocations,
-            peak = frontier.peak_active,
-            mean = frontier.mean_active(),
-        );
         eprintln!(
-            "bench: {family} {algorithm} n={n}: {:.1}s, {} rounds, {} invocations \
-             ({:.1}x fewer than dense)",
+            "bench: {family} {algorithm} n={n}: {:.1}s, {} rounds, {} delivered of {} sent \
+             ({} combined), {} invocations ({:.1}x fewer than dense)",
             wall,
             stats.rounds,
+            stats.messages_delivered(),
+            stats.messages,
+            stats.messages_combined,
             frontier.invocations,
             dense as f64 / frontier.invocations.max(1) as f64,
         );
-        entries.push(entry);
+        entries.push(Entry {
+            family,
+            algorithm,
+            n,
+            m: g.m(),
+            rounds: stats.rounds,
+            messages: stats.messages,
+            messages_combined: stats.messages_combined,
+            messages_delivered: stats.messages_delivered(),
+            invocations: frontier.invocations,
+            invocations_dense: dense,
+            active_peak: frontier.peak_active,
+            active_mean: frontier.mean_active(),
+            metric,
+            wall,
+        });
+    }
+
+    if let Some(path) = check_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let errors = check_against_baseline(&entries, &baseline);
+        if errors.is_empty() {
+            eprintln!(
+                "bench: OK — {} workloads match the deterministic columns of {path}",
+                entries.len()
+            );
+            return;
+        }
+        eprintln!("bench: REGRESSION — deterministic columns drifted from {path}:");
+        for e in &errors {
+            eprintln!("bench:   {e}");
+        }
+        eprintln!("bench: if this change is intentional, regenerate the baseline with");
+        eprintln!("bench:   cargo run --release -p engine --bin bench");
+        std::process::exit(1);
     }
 
     let json = format!(
-        "{{\n  \"schema\": 1,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
-         invocations_dense = rounds * n is the pre-frontier-scheduling cost\",\n  \
+        "{{\n  \"schema\": 2,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
+         invocations_dense = rounds * n is the pre-frontier-scheduling cost; \
+         messages_delivered = messages - messages_combined is the post-combining volume\",\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
+        entries
+            .iter()
+            .map(|e| e.to_json(threads))
+            .collect::<Vec<_>>()
+            .join(",\n")
     );
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

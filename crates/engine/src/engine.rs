@@ -58,9 +58,10 @@
 
 use crate::csr::{Csr, DirectedId};
 use crate::report::EngineReport;
-use congest::{Ctx, Executor, FrontierStats, Message, Program, RunStats, Word, WORDS_PER_MESSAGE};
+use congest::{
+    CombQueue, Ctx, Executor, FrontierStats, Message, Program, RunStats, Word, WORDS_PER_MESSAGE,
+};
 use lightgraph::{Graph, NodeId};
-use std::collections::VecDeque;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
@@ -298,8 +299,12 @@ impl<'g> Engine<'g> {
 
         // `make` runs on the calling thread, in node order (contract).
         let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
-        let mut queues: Vec<VecDeque<InlineMsg>> =
-            (0..csr.directed_len()).map(|_| VecDeque::new()).collect();
+        // Combining queues (contract clause 7): staged messages whose
+        // key matches a co-queued message merge in place. Staging goes
+        // through the shared `congest::CombQueue`, so the merge
+        // semantics are the simulator's by construction.
+        let mut queues: Vec<CombQueue<InlineMsg>> =
+            (0..csr.directed_len()).map(|_| CombQueue::new()).collect();
         // `charged[d]` ⇔ queue `d` is non-empty ⇔ `d` sits in exactly
         // one receiver-side carryover list or touched bucket. Written by
         // the unique sender during compute/init, cleared by the unique
@@ -329,6 +334,7 @@ impl<'g> Engine<'g> {
         let run_frontier;
         let livelocked;
         let histograms;
+        let delivered_total;
 
         {
             let programs_sh = SharedSlice::new(&mut programs);
@@ -342,6 +348,10 @@ impl<'g> Engine<'g> {
             // every-node `is_quiescent` sweep. Updated incrementally by
             // each worker from its carryover-list delta after compute.
             let nonquiescent = AtomicI64::new(0);
+            // Logical sends and clause-7 merges, batched per phase like
+            // `pending`; at quiescence staged = delivered + combined.
+            let staged_cum = AtomicU64::new(0);
+            let combined_cum = AtomicU64::new(0);
             let delivered_cum = AtomicU64::new(0);
             let active_cum = AtomicU64::new(0);
             let round_max_depth = AtomicU64::new(0);
@@ -350,9 +360,9 @@ impl<'g> Engine<'g> {
             let barrier = Barrier::new(threads);
 
             // One worker body, run by `threads` threads in lockstep;
-            // returns (rounds, messages, frontier, histograms) —
-            // meaningful for worker 0 only.
-            let worker = |wid: usize| -> (u64, u64, FrontierStats, Option<Histograms>) {
+            // returns (rounds, frontier, histograms) — meaningful for
+            // worker 0 only (message totals live in the shared atomics).
+            let worker = |wid: usize| -> (u64, FrontierStats, Option<Histograms>) {
                 let (lo, hi) = shards[wid];
                 let mut staged: Vec<(NodeId, Message)> = Vec::new();
                 let mut arena: Vec<(NodeId, Message)> = Vec::new();
@@ -369,7 +379,6 @@ impl<'g> Engine<'g> {
                 // Record-mode: own out-queues that may be non-empty.
                 let mut out_backlog: Vec<DirectedId> = Vec::new();
                 let mut round: u64 = 0;
-                let mut messages: u64 = 0;
                 let mut delivered_seen: u64 = 0;
                 let mut active_seen: u64 = 0;
                 let mut peak_active: u64 = 0;
@@ -387,38 +396,75 @@ impl<'g> Engine<'g> {
                     }
                 };
 
+                // Clause-7 staging, shared by the init and compute
+                // phases: stage one of `v`'s sends on its outgoing
+                // queue, merging per the sender's combiner; a merged
+                // message was absorbed into a co-queued one (the queue
+                // was non-empty, so the edge is already charged and
+                // backlogged), an appended one updates the
+                // charge/touched and record-mode backlog bookkeeping.
+                // Returns whether the message merged.
+                let stage_one = |p: &P,
+                                 v: NodeId,
+                                 to: NodeId,
+                                 msg: &Message,
+                                 backlog: &mut Vec<DirectedId>| {
+                    let d = csr.out_id(v, to);
+                    let key = p.combine_key(msg);
+                    let merged = unsafe { queues_sh.get_mut(d) }.stage(
+                        key,
+                        InlineMsg::pack(msg),
+                        |old, new| {
+                            let m = p.combine(&old.unpack(), &new.unpack());
+                            debug_assert_eq!(p.combine_key(&m), key, "combiner changed the key");
+                            *old = InlineMsg::pack(&m);
+                        },
+                    );
+                    if merged {
+                        return true;
+                    }
+                    let ch = unsafe { charged_sh.get_mut(d) };
+                    if !*ch {
+                        *ch = true;
+                        let r = shard_of[to] as usize;
+                        unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                    }
+                    if record {
+                        let ib = unsafe { in_backlog_sh.get_mut(d) };
+                        if !*ib {
+                            *ib = true;
+                            backlog.push(d);
+                        }
+                    }
+                    false
+                };
+
                 // ---- init phase (round 0): one send burst per node;
                 // seed the non-quiescent carryover (the only full-shard
                 // `is_quiescent` evaluation of the run).
                 guard(&mut || {
                     let mut delta: i64 = 0;
+                    let mut sent: u64 = 0;
+                    let mut combined: u64 = 0;
                     for v in lo..hi {
                         let p = unsafe { programs_sh.get_mut(v) };
                         let mut ctx = Ctx::new(v, n, 0, graph.neighbors(v), &mut staged);
                         p.init(&mut ctx);
                         for (to, msg) in staged.drain(..) {
-                            let d = csr.out_id(v, to);
-                            let ch = unsafe { charged_sh.get_mut(d) };
-                            if !*ch {
-                                *ch = true;
-                                let r = shard_of[to] as usize;
-                                unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                            sent += 1;
+                            if stage_one(p, v, to, &msg, &mut out_backlog) {
+                                combined += 1;
+                            } else {
+                                delta += 1;
                             }
-                            if record {
-                                let ib = unsafe { in_backlog_sh.get_mut(d) };
-                                if !*ib {
-                                    *ib = true;
-                                    out_backlog.push(d);
-                                }
-                            }
-                            unsafe { queues_sh.get_mut(d) }.push_back(InlineMsg::pack(&msg));
-                            delta += 1;
                         }
                         if !p.is_quiescent() {
                             carry_nodes.push(v);
                         }
                     }
                     pending.fetch_add(delta, Ordering::SeqCst);
+                    staged_cum.fetch_add(sent, Ordering::SeqCst);
+                    combined_cum.fetch_add(combined, Ordering::SeqCst);
                     nonquiescent.fetch_add(carry_nodes.len() as i64, Ordering::SeqCst);
                 });
                 barrier.wait(); // init burst + carryover seeds visible
@@ -444,7 +490,6 @@ impl<'g> Engine<'g> {
                         let cum = delivered_cum.load(Ordering::SeqCst);
                         let this_round = cum - delivered_seen;
                         delivered_seen = cum;
-                        messages = cum;
                         let acum = active_cum.load(Ordering::SeqCst);
                         let round_active = acum - active_seen;
                         active_seen = acum;
@@ -467,7 +512,6 @@ impl<'g> Engine<'g> {
                             };
                             return (
                                 round,
-                                messages,
                                 frontier,
                                 (wid == 0 && record).then_some((
                                     hist_msgs,
@@ -516,8 +560,8 @@ impl<'g> Engine<'g> {
                             let q = unsafe { queues_sh.get_mut(d) };
                             let mut popped = 0u64;
                             while popped < cap as u64 {
-                                match q.pop_front() {
-                                    Some(im) => {
+                                match q.pop() {
+                                    Some((_, im)) => {
                                         arena.push((senders[d], im.unpack()));
                                         popped += 1;
                                     }
@@ -547,6 +591,8 @@ impl<'g> Engine<'g> {
                     // the carryover in place.
                     guard(&mut || {
                         let mut delta: i64 = 0;
+                        let mut sent: u64 = 0;
+                        let mut combined: u64 = 0;
                         let mut executed: u64 = 0;
                         next_nodes.clear();
                         congest::for_each_active(
@@ -560,23 +606,12 @@ impl<'g> Engine<'g> {
                                     Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
                                 p.round(&mut ctx, &arena[inbox_start..inbox_end]);
                                 for (to, msg) in staged.drain(..) {
-                                    let d = csr.out_id(v, to);
-                                    let ch = unsafe { charged_sh.get_mut(d) };
-                                    if !*ch {
-                                        *ch = true;
-                                        let r = shard_of[to] as usize;
-                                        unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                                    sent += 1;
+                                    if stage_one(p, v, to, &msg, &mut out_backlog) {
+                                        combined += 1;
+                                    } else {
+                                        delta += 1;
                                     }
-                                    if record {
-                                        let ib = unsafe { in_backlog_sh.get_mut(d) };
-                                        if !*ib {
-                                            *ib = true;
-                                            out_backlog.push(d);
-                                        }
-                                    }
-                                    unsafe { queues_sh.get_mut(d) }
-                                        .push_back(InlineMsg::pack(&msg));
-                                    delta += 1;
                                 }
                                 if !p.is_quiescent() {
                                     next_nodes.push(v);
@@ -589,6 +624,8 @@ impl<'g> Engine<'g> {
                         );
                         std::mem::swap(&mut carry_nodes, &mut next_nodes);
                         pending.fetch_add(delta, Ordering::SeqCst);
+                        staged_cum.fetch_add(sent, Ordering::SeqCst);
+                        combined_cum.fetch_add(combined, Ordering::SeqCst);
                         active_cum.fetch_add(executed, Ordering::SeqCst);
                         if record {
                             // Depth scan over the sender-side backlog
@@ -616,7 +653,7 @@ impl<'g> Engine<'g> {
                 }
             };
 
-            let (rounds, messages, frontier, hists) = std::thread::scope(|s| {
+            let (rounds, frontier, hists) = std::thread::scope(|s| {
                 for wid in 1..threads {
                     let w = &worker;
                     s.spawn(move || w(wid));
@@ -628,7 +665,9 @@ impl<'g> Engine<'g> {
                 resume_unwind(payload);
             }
             stats.rounds = rounds;
-            stats.messages = messages;
+            stats.messages = staged_cum.load(Ordering::SeqCst);
+            stats.messages_combined = combined_cum.load(Ordering::SeqCst);
+            delivered_total = delivered_cum.load(Ordering::SeqCst);
             run_frontier = frontier;
             livelocked = rounds >= max_rounds
                 && (pending.load(Ordering::SeqCst) != 0
@@ -639,6 +678,11 @@ impl<'g> Engine<'g> {
         if livelocked {
             panic!("CONGEST run exceeded {max_rounds} rounds — livelocked program?");
         }
+        debug_assert_eq!(
+            delivered_total,
+            stats.messages_delivered(),
+            "staged = delivered + combined at quiescence"
+        );
 
         if record {
             let (messages_per_round, max_queue_depth_per_round, active_per_round) =
@@ -646,6 +690,8 @@ impl<'g> Engine<'g> {
             self.last_report = Some(EngineReport {
                 rounds: stats.rounds,
                 total_messages: stats.messages,
+                messages_delivered: delivered_total,
+                messages_combined: stats.messages_combined,
                 messages_per_round,
                 max_queue_depth_per_round,
                 active_per_round,
@@ -979,9 +1025,11 @@ mod tests {
         let report = eng.last_report().expect("recording enabled");
         assert_eq!(report.rounds, stats.rounds);
         assert_eq!(report.total_messages, stats.messages);
+        assert_eq!(report.messages_delivered, stats.messages_delivered());
+        assert_eq!(report.messages_combined, stats.messages_combined);
         assert_eq!(
             report.messages_per_round.iter().sum::<u64>(),
-            stats.messages
+            report.messages_delivered
         );
         assert_eq!(
             report.active_per_round.iter().sum::<u64>(),
@@ -999,6 +1047,69 @@ mod tests {
             "k-1 messages remain after round 1"
         );
         assert_eq!(report.threads, 2);
+    }
+
+    /// Same program as the simulator's combining unit test: node 0
+    /// stages `k` same-key messages in one burst; the min-combiner
+    /// collapses them to one survivor.
+    struct KeyedBurst {
+        k: u64,
+        got: Vec<u64>,
+    }
+
+    impl Program for KeyedBurst {
+        type Output = Vec<u64>;
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                for i in 0..self.k {
+                    ctx.send(1, Message::words(&[5, 100 - i]));
+                }
+            }
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+            for (_, m) in inbox {
+                self.got.push(m.word(1));
+            }
+        }
+        fn combine_key(&self, msg: &Message) -> Option<Word> {
+            Some(msg.word(0))
+        }
+        fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+            Message::words(&[queued.word(0), queued.word(1).min(incoming.word(1))])
+        }
+        fn finish(self) -> Vec<u64> {
+            self.got
+        }
+    }
+
+    #[test]
+    fn combiner_matches_simulator_bit_for_bit() {
+        let g = generators::cycle(8, 1);
+        let mut sim = Simulator::new(&g);
+        let (os, ss) = sim.run(|_, _| KeyedBurst {
+            k: 10,
+            got: Vec::new(),
+        });
+        assert_eq!(ss.messages_combined, 9, "the burst merged");
+        assert_eq!(ss.messages_delivered(), ss.messages - 9);
+        for threads in [1, 2, 3] {
+            let mut eng = Engine::with_threads(&g, threads);
+            eng.set_record_metrics(true);
+            let (oe, se) = eng.run(|_, _| KeyedBurst {
+                k: 10,
+                got: Vec::new(),
+            });
+            assert_eq!(os, oe, "outputs (threads={threads})");
+            assert_eq!(ss, se, "stats incl. combine counters (threads={threads})");
+            assert_eq!(
+                sim.frontier_total(),
+                Executor::frontier_total(&eng),
+                "frontier (threads={threads})"
+            );
+            let report = eng.last_report().expect("recording enabled");
+            assert_eq!(report.messages_combined, se.messages_combined);
+            assert_eq!(report.messages_delivered, se.messages_delivered());
+        }
     }
 
     #[test]

@@ -12,10 +12,18 @@ pub const HOT_EDGE_TOP_K: usize = 16;
 pub struct EngineReport {
     /// Rounds executed (same value as the run's `RunStats::rounds`).
     pub rounds: u64,
-    /// Messages delivered (same value as the run's `RunStats::messages`).
+    /// Logical messages sent (same value as the run's
+    /// `RunStats::messages`).
     pub total_messages: u64,
+    /// Messages physically delivered to inboxes; equals
+    /// `total_messages` unless a per-edge combiner merged some away
+    /// (contract clause 7).
+    pub messages_delivered: u64,
+    /// Messages absorbed by per-edge combining (same value as the run's
+    /// `RunStats::messages_combined`).
+    pub messages_combined: u64,
     /// Messages delivered in each round — the per-round message
-    /// histogram; index 0 is round 1.
+    /// histogram; index 0 is round 1. Sums to `messages_delivered`.
     pub messages_per_round: Vec<u64>,
     /// Largest backlog across all directed-edge queues *after* each
     /// round's sends; a proxy for congestion pressure.

@@ -107,7 +107,8 @@ impl Row {
     /// The fixed CSV column order; every row serializes exactly these
     /// fields (empty cells where instrumentation was not recorded).
     pub const CSV_HEADER: &'static str = "family,n,m,algorithm,engine,threads,seed,rounds,\
-                                          messages,active_peak,active_mean,wall_ms,\
+                                          messages,messages_combined,messages_delivered,\
+                                          active_peak,active_mean,wall_ms,\
                                           metric_name,metric,\
                                           peak_round_messages,peak_queue_depth";
 
@@ -116,7 +117,8 @@ impl Row {
     pub fn to_json(&self) -> String {
         let mut s = format!(
             "{{\"family\":\"{}\",\"n\":{},\"m\":{},\"algorithm\":\"{}\",\"engine\":\"{}\",\
-             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\"active_peak\":{},\
+             \"threads\":{},\"seed\":{},\"rounds\":{},\"messages\":{},\
+             \"messages_combined\":{},\"messages_delivered\":{},\"active_peak\":{},\
              \"active_mean\":{:.3},\"wall_ms\":{:.3},\"{}\":{}",
             self.family,
             self.n,
@@ -127,6 +129,8 @@ impl Row {
             self.seed,
             self.stats.rounds,
             self.stats.messages,
+            self.stats.messages_combined,
+            self.stats.messages_delivered(),
             self.active_peak,
             self.active_mean,
             self.wall_ms,
@@ -146,7 +150,7 @@ impl Row {
     /// CSV serialization in [`Row::CSV_HEADER`] order.
     pub fn to_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
             self.family,
             self.n,
             self.m,
@@ -156,6 +160,8 @@ impl Row {
             self.seed,
             self.stats.rounds,
             self.stats.messages,
+            self.stats.messages_combined,
+            self.stats.messages_delivered(),
             self.active_peak,
             self.active_mean,
             self.wall_ms,

@@ -5,12 +5,16 @@
 //! instances, every algorithm reachable from the `scenario` runner —
 //! BFS, collectives, MST, SLT, light spanner, Euler tour, nets,
 //! doubling spanner, Bellman–Ford, and the landmark SPT — must produce
-//! *exactly* the same per-node outputs and the same `RunStats` (rounds
-//! and messages) on `congest::Simulator` and on `engine::Engine`,
-//! across thread counts. This is the determinism contract of
-//! `congest::exec` (see the module docs there for the five clauses an
-//! engine must honor) — the property that lets the engine stand in for
-//! the simulator when reproducing the paper's round counts.
+//! *exactly* the same per-node outputs and the same `RunStats` (rounds,
+//! messages, and combine counters) on `congest::Simulator` and on
+//! `engine::Engine`, across thread counts. This is the determinism
+//! contract of `congest::exec` (see the module docs there for the seven
+//! clauses an engine must honor) — the property that lets the engine
+//! stand in for the simulator when reproducing the paper's round
+//! counts. Clause 7 (per-edge message combining) additionally gets a
+//! combined-vs-uncombined equivalence wall: a combine-correct program
+//! must reach the same outputs with and without its combiner, and the
+//! dense-validation mode must catch a combiner that breaks the algebra.
 //!
 //! Test-helper conventions (determinism-contract expectations):
 //! * every helper runs the algorithm *fresh* on each executor — a
@@ -127,6 +131,126 @@ impl Program for HoldAndRelay {
 /// sharded engine keep the suite fast while still exercising the
 /// cross-thread determinism contract.
 const THREADS_HEAVY: [usize; 2] = [1, 4];
+
+/// Multi-source min-relaxation with a *switchable* per-edge combiner
+/// (clause 7): nodes `v < sources` flood `(source, distance)` updates;
+/// every node keeps the per-source minimum and re-broadcasts
+/// improvements. Run to quiescence the table is the exact multi-source
+/// distance map — a fixed point that cannot depend on whether co-queued
+/// updates for one source were delivered individually or merged, which
+/// is exactly the combine-correctness obligation the proptest pins.
+struct MinTable {
+    sources: usize,
+    use_combiner: bool,
+    table: std::collections::BTreeMap<u64, u64>,
+}
+
+impl MinTable {
+    fn relax(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        let mut improved: Vec<(u64, u64)> = Vec::new();
+        for (from, msg) in inbox {
+            let w = ctx
+                .neighbors()
+                .iter()
+                .find(|&&(u, _, _)| u == *from)
+                .map(|&(_, w, _)| w)
+                .expect("sender is a neighbor");
+            let (key, val) = (msg.word(0), msg.word(1).saturating_add(w));
+            if self.table.get(&key).map(|&d| val < d).unwrap_or(true) {
+                self.table.insert(key, val);
+                improved.push((key, val));
+            }
+        }
+        for (key, val) in improved {
+            ctx.send_all(Message::words(&[key, val]));
+        }
+    }
+}
+
+impl Program for MinTable {
+    type Output = Vec<(u64, u64)>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.node() < self.sources {
+            let key = ctx.node() as u64;
+            self.table.insert(key, 0);
+            ctx.send_all(Message::words(&[key, 0]));
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        self.relax(ctx, inbox);
+    }
+
+    fn combine_key(&self, msg: &Message) -> Option<congest::Word> {
+        self.use_combiner.then(|| msg.word(0))
+    }
+
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        Message::words(&[queued.word(0), queued.word(1).min(incoming.word(1))])
+    }
+
+    fn finish(self) -> Vec<(u64, u64)> {
+        self.table.into_iter().collect()
+    }
+}
+
+/// Clause-7 invisibility workload: node 0 emits `waves` bursts of
+/// `BURST` same-key messages, one burst per round, while every other
+/// node records the minimum it hears and its own invocation count.
+/// With `cap >= BURST` each burst would have been delivered whole in
+/// one round anyway, so combining must be *fully* invisible — outputs,
+/// per-node invocation counts, rounds, and sent-message counts stay
+/// bit-identical; only the delivered volume shrinks.
+const BURST: u64 = 3;
+
+struct BurstBeacon {
+    use_combiner: bool,
+    waves_left: u64,
+    min_seen: u64,
+    invoked: u64,
+}
+
+impl Program for BurstBeacon {
+    /// (minimum value heard, `round` invocations executed).
+    type Output = (u64, u64);
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        if ctx.node() != 0 {
+            self.waves_left = 0;
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        self.invoked += 1;
+        for (_, msg) in inbox {
+            self.min_seen = self.min_seen.min(msg.word(1));
+        }
+        if ctx.node() == 0 && self.waves_left > 0 {
+            self.waves_left -= 1;
+            let wave = self.waves_left;
+            for i in 0..BURST {
+                ctx.send_all(Message::words(&[7, wave * 10 + i]));
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.waves_left == 0
+    }
+
+    fn combine_key(&self, msg: &Message) -> Option<congest::Word> {
+        self.use_combiner.then(|| msg.word(0))
+    }
+
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        Message::words(&[queued.word(0), queued.word(1).min(incoming.word(1))])
+    }
+
+    fn finish(self) -> (u64, u64) {
+        (self.min_seen, self.invoked)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -359,6 +483,79 @@ proptest! {
         }
     }
 
+    /// Clause-7 equivalence, the combined-vs-uncombined wall: a
+    /// combine-correct relaxation must reach bit-identical outputs with
+    /// and without its combiner (the combiner may only compress the
+    /// trajectory — fewer deliveries, never-more rounds), and the
+    /// combined run must stay bit-identical across engines and thread
+    /// counts, *including* the new combine counters.
+    #[test]
+    fn prop_combining_preserves_relaxation_outputs((g, _seed) in arb_graph()) {
+        let k = (g.n() / 3).max(1);
+        let mut sim_u = Simulator::new(&g);
+        let (ou, su) = sim_u.run(|_, _| MinTable {
+            sources: k, use_combiner: false, table: Default::default(),
+        });
+        prop_assert_eq!(su.messages_combined, 0, "no combiner, no merges");
+        prop_assert_eq!(su.messages_delivered(), su.messages);
+        let mut sim_c = Simulator::new(&g);
+        let (oc, sc) = sim_c.run(|_, _| MinTable {
+            sources: k, use_combiner: true, table: Default::default(),
+        });
+        prop_assert_eq!(&ou, &oc, "combining changed the fixed point");
+        prop_assert!(sc.messages_delivered() <= su.messages_delivered(),
+            "combining may only shrink delivered volume");
+        prop_assert!(sc.rounds <= su.rounds, "combining may only shrink the backlog");
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (oe, se) = eng.run(|_, _| MinTable {
+                sources: k, use_combiner: true, table: Default::default(),
+            });
+            prop_assert_eq!(&oc, &oe, "outputs (threads={})", threads);
+            prop_assert_eq!(sc, se, "stats incl. combine counters (threads={})", threads);
+            prop_assert_eq!(
+                sim_c.frontier_total(), Executor::frontier_total(&eng),
+                "frontier stats (threads={})", threads
+            );
+        }
+    }
+
+    /// Clause-7 invisibility: when the cap does not bind (every burst
+    /// would have crossed in one round anyway), combining must leave
+    /// outputs, per-node invocation counts, rounds, and sent-message
+    /// counts bit-identical — only `messages_combined` moves.
+    #[test]
+    fn prop_combining_with_slack_cap_is_invisible((g, _seed) in arb_graph(), waves in 1u64..4) {
+        let cap = BURST as usize + 1;
+        let run_sim = |comb: bool| {
+            let mut sim = Simulator::new(&g);
+            Executor::set_cap(&mut sim, cap);
+            let (o, s) = sim.run(|_, _| BurstBeacon {
+                use_combiner: comb, waves_left: waves, min_seen: u64::MAX, invoked: 0,
+            });
+            (o, s, sim.frontier_total())
+        };
+        let (ou, su, fu) = run_sim(false);
+        let (oc, sc, fc) = run_sim(true);
+        prop_assert_eq!(&ou, &oc, "outputs incl. per-node invocation counts");
+        prop_assert_eq!(su.rounds, sc.rounds, "rounds");
+        prop_assert_eq!(su.messages, sc.messages, "sent messages");
+        prop_assert_eq!(fu, fc, "frontier accounting");
+        prop_assert_eq!(su.messages_combined, 0);
+        let expect_merged = waves * (BURST - 1) * g.degree(0) as u64;
+        prop_assert_eq!(sc.messages_combined, expect_merged, "every burst merged");
+        prop_assert_eq!(sc.messages_delivered(), su.messages - expect_merged);
+        for threads in [1usize, 4] {
+            let mut eng = Engine::with_threads(&g, threads);
+            Executor::set_cap(&mut eng, cap);
+            let (oe, se) = eng.run(|_, _| BurstBeacon {
+                use_combiner: true, waves_left: waves, min_seen: u64::MAX, invoked: 0,
+            });
+            prop_assert_eq!(&oc, &oe, "outputs (threads={})", threads);
+            prop_assert_eq!(sc, se, "stats (threads={})", threads);
+        }
+    }
+
     #[test]
     fn prop_cap_ablation_identical((g, _seed) in arb_graph(), cap in 1usize..4) {
         let mut sim = Simulator::new(&g);
@@ -411,6 +608,65 @@ fn all_algorithms_pass_the_activation_validator() {
             "{algorithm}: frontier accounting differs under validation"
         );
     }
+}
+
+/// The clause-7 counterpart of the activation validator: an
+/// order-sensitive (non-associative, non-commutative) combiner slips
+/// past the engine-vs-simulator properties — both engines apply the
+/// same broken merge and drift identically — so the dense-validation
+/// mode is the guard: it re-folds every merged delivery in reverse
+/// order and must panic on the mismatch.
+#[test]
+#[should_panic(expected = "not associative/commutative")]
+fn dense_validator_catches_a_non_associative_combiner() {
+    /// Merge = saturating difference: `a ⊖ b != b ⊖ a`.
+    struct Subtractor;
+    impl Program for Subtractor {
+        type Output = ();
+        fn init(&mut self, ctx: &mut Ctx<'_>) {
+            if ctx.node() == 0 {
+                ctx.send(1, Message::words(&[3, 50]));
+                ctx.send(1, Message::words(&[3, 20]));
+            }
+        }
+        fn round(&mut self, _ctx: &mut Ctx<'_>, _inbox: &[(NodeId, Message)]) {}
+        fn combine_key(&self, msg: &Message) -> Option<congest::Word> {
+            Some(msg.word(0))
+        }
+        fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+            Message::words(&[
+                queued.word(0),
+                queued.word(1).saturating_sub(incoming.word(1)),
+            ])
+        }
+        fn finish(self) {}
+    }
+    let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+    let mut sim = Simulator::new(&g);
+    sim.set_validate_activation(true);
+    sim.run(|_, _| Subtractor);
+}
+
+/// On a pinned instance the relaxation combiner demonstrably fires —
+/// guarding against a regression that silently turns combining into a
+/// no-op (the equivalence properties above would still pass).
+#[test]
+fn relaxation_combiner_fires_on_a_pinned_instance() {
+    let g = generators::random_geometric(48, 0.35, 11);
+    let mut sim = Simulator::new(&g);
+    let (_, stats) = sim.run(|_, _| MinTable {
+        sources: 16,
+        use_combiner: true,
+        table: Default::default(),
+    });
+    assert!(
+        stats.messages_combined > 0,
+        "expected merges on a 16-source relaxation, got none"
+    );
+    assert_eq!(
+        stats.messages_delivered(),
+        stats.messages - stats.messages_combined
+    );
 }
 
 /// A BFS wave over a long path is the canonical frontier workload: the

@@ -15,6 +15,10 @@
 //! ```text
 //! UPDATE_GOLDEN=1 cargo test -p engine --test golden
 //! ```
+//!
+//! CI diffs the real `scenario` binary's output against the same
+//! fixtures, scrubbing through `scripts/scrub_golden.sh` — keep that
+//! script's field list in sync with [`SCRUBBED_FIELDS`].
 
 use engine::config;
 use engine::scenario::run_sweep;

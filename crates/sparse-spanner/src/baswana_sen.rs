@@ -1,4 +1,4 @@
-//! Distributed Baswana–Sen (2k−1)-spanner for weighted graphs [BS07].
+//! Distributed Baswana–Sen (2k−1)-spanner for weighted graphs \[BS07\].
 //!
 //! §5 of the paper uses this algorithm for the low-weight bucket `E′`
 //! ("in O(k) rounds we get a (2k−1)-spanner of `G′`, where the expected
@@ -168,9 +168,7 @@ pub fn baswana_sen(sim: &mut impl Executor, k: usize, seed: u64) -> BsSpanner {
     // retired (it added its lightest edge per cluster, and a retired
     // neighbor was in *some* cluster at that time).
     let edges: Vec<EdgeId> = (0..m).filter(|&e| chosen[e]).collect();
-    let mut stats = sim.total();
-    stats.rounds -= start.rounds;
-    stats.messages -= start.messages;
+    let stats = sim.total().since(start);
     BsSpanner { edges, stats }
 }
 

@@ -1,4 +1,4 @@
-//! The Elkin–Neiman unweighted spanner [EN17b] — the algorithm §5
+//! The Elkin–Neiman unweighted spanner \[EN17b\] — the algorithm §5
 //! simulates on cluster graphs.
 //!
 //! Every vertex `x` draws `r(x)` from an exponential distribution with

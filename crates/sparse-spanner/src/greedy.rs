@@ -1,7 +1,7 @@
-//! The greedy (2k−1)-spanner of Althöfer et al. [ADD+93] — the
+//! The greedy (2k−1)-spanner of Althöfer et al. \[ADD+93\] — the
 //! sequential quality baseline.
 //!
-//! Filtser–Solomon [FS16] showed the greedy spanner is *existentially
+//! Filtser–Solomon \[FS16\] showed the greedy spanner is *existentially
 //! optimal*: its size `O(n^{1+1/k})` and lightness `O(n^{1/k})` (for
 //! stretch `(2k−1)·(1+ε)`) match the best possible. The experiments use
 //! it as the quality yardstick the distributed algorithm is compared

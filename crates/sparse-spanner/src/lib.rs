@@ -1,13 +1,13 @@
 //! Sparse-spanner substrates and baselines.
 //!
-//! * [`baswana_sen`] — distributed Baswana–Sen (2k−1)-spanner [BS07],
+//! * [`mod@baswana_sen`] — distributed Baswana–Sen (2k−1)-spanner \[BS07\],
 //!   used by §5 for the low-weight bucket and as a no-lightness
 //!   baseline,
-//! * [`en_spanner`] — the Elkin–Neiman unweighted spanner [EN17b] that
+//! * [`mod@en_spanner`] — the Elkin–Neiman unweighted spanner \[EN17b\] that
 //!   §5 simulates on cluster graphs (sampling, update rule, selection
 //!   rule, and a sequential runner),
-//! * [`greedy`] — the greedy (2k−1)-spanner [ADD+93], the existentially
-//!   optimal sequential baseline [FS16].
+//! * [`greedy`] — the greedy (2k−1)-spanner \[ADD+93\], the existentially
+//!   optimal sequential baseline \[FS16\].
 
 pub mod baswana_sen;
 pub mod en_spanner;

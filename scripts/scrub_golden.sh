@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Scrubs the machine-dependent and scheduler-accounting columns from
+# scenario-runner output so it can be diffed against the golden
+# fixtures in crates/engine/tests/fixtures/.
+#
+# The scrubbed fields mirror SCRUBBED_FIELDS in
+# crates/engine/tests/golden.rs (the in-process golden test): wall_ms
+# and threads are machine-dependent; active_peak and active_mean are
+# deterministic frontier bookkeeping, scrubbed so fixtures pin the
+# *simulated* algorithm rather than the scheduler's accounting. Keep
+# the two lists in sync.
+#
+# Usage:
+#   scripts/scrub_golden.sh jsonl rows.jsonl > rows.scrubbed.jsonl
+#   scripts/scrub_golden.sh csv   rows.csv   > rows.scrubbed.csv
+#
+# To regenerate the committed fixtures after an intentional behavior
+# change, run the in-process twin instead:
+#   UPDATE_GOLDEN=1 cargo test -p engine --test golden
+set -euo pipefail
+
+mode="${1:?usage: scrub_golden.sh jsonl|csv <file>}"
+file="${2:?usage: scrub_golden.sh jsonl|csv <file>}"
+
+case "$mode" in
+  jsonl)
+    sed -E 's/"wall_ms":[0-9.]+/"wall_ms":_/; s/"threads":[0-9]+/"threads":_/; s/"active_peak":[0-9]+/"active_peak":_/; s/"active_mean":[0-9.]+/"active_mean":_/' "$file"
+    ;;
+  csv)
+    awk -F, -v OFS=, 'NR==1{for(i=1;i<=NF;i++) if ($i=="wall_ms"||$i=="threads"||$i=="active_peak"||$i=="active_mean") s[i]=1; print; next} {for(i in s) $i="_"; print}' "$file"
+    ;;
+  *)
+    echo "scrub_golden.sh: unknown mode \`$mode\` (expected jsonl or csv)" >&2
+    exit 2
+    ;;
+esac
