@@ -13,6 +13,15 @@
 //!   pipeline: `O(K + height)` rounds for `K` distinct keys crossing the
 //!   bottleneck edge.
 //! * [`gather`] — convergecast of *distinct* items (a thin wrapper).
+//! * [`converge_merged`] / [`gather_merged`] — the **combiner-aware**
+//!   convergecast: items flow upward *eagerly* (no watermark waiting),
+//!   the per-key merge runs at three levels — inside each node's
+//!   partial map, as the contract-clause-7 per-edge message combiner
+//!   while superseded items are still queued in flight, and nothing
+//!   else: no `DONE` control traffic at all. Same root map as
+//!   [`converge`], but a slow subtree never head-of-line-blocks
+//!   settled keys, which is what made the landmark pairwise gather
+//!   round-bound (see `dist_sssp::landmark`).
 //!
 //! Together, `gather` + `broadcast` implement the paper's recurring
 //! "convergecast to rt, compute locally, broadcast the answer" pattern.
@@ -208,6 +217,208 @@ pub fn gather<E: Executor>(
     converge(sim, tree, items, |_, a, b| a.min(b))
 }
 
+// ---------------------------------------------------------------------
+// Eager combiner-aware convergecast
+// ---------------------------------------------------------------------
+
+/// The eager convergecast program: holds the per-key merge of
+/// everything seen so far and forwards an item upward the moment it
+/// *improves* the held value (merge result differs), relying on the
+/// clause-7 per-edge combiner — the same merge, applied to co-queued
+/// messages — to collapse superseded items still in flight.
+struct EagerConvergeProgram<C> {
+    parent: Option<NodeId>,
+    merged: BTreeMap<Word, [Word; 2]>,
+    combine: C,
+    /// `false` disables the clause-7 message combiner (the
+    /// "non-combined path" of the equivalence proptests); the program
+    /// logic is otherwise identical.
+    use_combiner: bool,
+}
+
+impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> EagerConvergeProgram<C> {
+    /// Merges `(key, val)` into the held map; returns whether the held
+    /// value changed (i.e. the item must be forwarded).
+    fn insert(&mut self, key: Word, val: [Word; 2]) -> bool {
+        // The eager contract requires an idempotent (semilattice)
+        // merge — see `converge_merged_with`. Spot-check each item.
+        debug_assert_eq!(
+            (self.combine)(key, val, val),
+            val,
+            "converge_merged requires an idempotent merge (key {key})"
+        );
+        match self.merged.entry(key) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(val);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                let cur = *e.get();
+                let merged = (self.combine)(key, cur, val);
+                if merged == cur {
+                    false
+                } else {
+                    e.insert(merged);
+                    true
+                }
+            }
+        }
+    }
+
+    fn emit(&self, ctx: &mut Ctx<'_>, key: Word) {
+        if let Some(parent) = self.parent {
+            let [a, b] = self.merged[&key];
+            ctx.send(parent, Message::words(&[TAG_ITEM, key, a, b]));
+        }
+    }
+}
+
+impl<C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2]> Program for EagerConvergeProgram<C> {
+    type Output = BTreeMap<Word, [Word; 2]>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        // The map already holds this node's own items (inserted at
+        // construction); announce them all, in key order.
+        let keys: Vec<Word> = self.merged.keys().copied().collect();
+        for key in keys {
+            self.emit(ctx, key);
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        // Absorb the whole inbox first, then emit each improved key
+        // once with its final merged value (batching duplicates that
+        // arrived in the same round from different children).
+        let mut improved: Vec<Word> = Vec::new();
+        for (_, msg) in inbox {
+            debug_assert_eq!(msg.word(0), TAG_ITEM);
+            let key = msg.word(1);
+            if self.insert(key, [msg.word(2), msg.word(3)]) && !improved.contains(&key) {
+                improved.push(key);
+            }
+        }
+        for key in improved {
+            self.emit(ctx, key);
+        }
+    }
+
+    /// Clause-7 key: the item key itself (all eager-convergecast
+    /// traffic is `TAG_ITEM`, so the key alone identifies the stream).
+    fn combine_key(&self, msg: &Message) -> Option<Word> {
+        if !self.use_combiner {
+            return None;
+        }
+        debug_assert_eq!(msg.word(0), TAG_ITEM);
+        Some(msg.word(1))
+    }
+
+    /// Clause-7 merge: the caller's per-key merge, lifted to messages.
+    /// Lawful because the eager contract demands a semilattice merge
+    /// (associative, commutative, **idempotent** — see
+    /// [`converge_merged_with`]); key-stable by construction since
+    /// words 0–1 are kept verbatim.
+    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
+        debug_assert_eq!(queued.word(1), incoming.word(1), "same item key");
+        let key = queued.word(1);
+        let merged = (self.combine)(
+            key,
+            [queued.word(2), queued.word(3)],
+            [incoming.word(2), incoming.word(3)],
+        );
+        Message::words(&[TAG_ITEM, key, merged[0], merged[1]])
+    }
+
+    fn finish(self) -> BTreeMap<Word, [Word; 2]> {
+        self.merged
+    }
+}
+
+/// Combiner-aware convergecast: every vertex contributes `items(v)`,
+/// values sharing a key merge through `combine(key, a, b)`, the root's
+/// combined map is returned — but items flow upward **eagerly** and
+/// superseded re-emissions are collapsed *in flight* by the clause-7
+/// per-edge message combiner (the same merge). Two consequences:
+///
+/// * no watermark waiting: a slow subtree cannot head-of-line-block
+///   keys that are already settled elsewhere, so long pairwise gathers
+///   pipeline at the bandwidth floor instead of the watermark schedule;
+/// * a key crosses an edge once per *improvement that outlives the
+///   backlog* — for duplicate-heavy streams (e.g. both endpoints of a
+///   landmark pair reporting the same distance) the duplicates merge
+///   either in a node's map or in its parent queue and are never
+///   delivered twice.
+///
+/// **The merge obligation is stricter than [`converge`]'s**: `combine`
+/// must be a *semilattice* merge — associative, commutative, **and
+/// idempotent** (`combine(k, a, a) == a`), i.e. a selection such as a
+/// componentwise or lexicographic min/max. The eager program forwards
+/// its *held merged value* on every improvement, so an upstream node
+/// may absorb the same original contribution through several
+/// emissions; idempotence is what makes re-absorption a no-op.
+/// Aggregations like sums or counts are **not** lawful here (the root
+/// would double-count) — use the watermark [`converge`], whose
+/// exactly-once key streams only need associativity + commutativity.
+/// Idempotence is spot-checked per item in debug builds.
+///
+/// `set_combiner = false` runs the identical eager program without the
+/// clause-7 message combiner — the reference path the equivalence
+/// proptests compare against.
+pub fn converge_merged_with<E, C>(
+    sim: &mut E,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+    combine: C,
+    set_combiner: bool,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats)
+where
+    E: Executor,
+    C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2] + Clone + Send,
+{
+    let root = tree.root;
+    let (mut out, stats) = sim.run(|v, _| {
+        let mut p = EagerConvergeProgram {
+            parent: tree.parent[v],
+            merged: BTreeMap::new(),
+            combine: combine.clone(),
+            use_combiner: set_combiner,
+        };
+        for (k, val) in items(v) {
+            p.insert(k, val);
+        }
+        p
+    });
+    (std::mem::take(&mut out[root]), stats)
+}
+
+/// [`converge_merged_with`] with the clause-7 combiner enabled — the
+/// production entry point.
+pub fn converge_merged<E, C>(
+    sim: &mut E,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+    combine: C,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats)
+where
+    E: Executor,
+    C: Fn(Word, [Word; 2], [Word; 2]) -> [Word; 2] + Clone + Send,
+{
+    converge_merged_with(sim, tree, items, combine, true)
+}
+
+/// Combiner-aware [`gather`]: eager convergecast where duplicate keys
+/// keep the lexicographically smaller value — in nodes *and in flight*
+/// (see [`converge_merged`]) — exactly as [`gather`] specializes
+/// [`converge`]. The landmark pairwise gather uses this to collapse
+/// superseded bounded-distance items (`val = [distance, _]`, so the
+/// smaller genuine path length wins).
+pub fn gather_merged<E: Executor>(
+    sim: &mut E,
+    tree: &BfsTree,
+    items: impl Fn(NodeId) -> Vec<Item>,
+) -> (BTreeMap<Word, [Word; 2]>, RunStats) {
+    converge_merged(sim, tree, items, |_, a, b| a.min(b))
+}
+
 /// Convergecast of keyed minima over the first value word; the second
 /// word rides along with its minimum (e.g. `val = [weight, edge-id]`
 /// keeps the lightest edge per key).
@@ -322,6 +533,77 @@ mod tests {
             "gather not pipelined: {}",
             stats.rounds
         );
+    }
+
+    #[test]
+    fn eager_converge_matches_watermark_output() {
+        let g = generators::erdos_renyi(40, 0.1, 9, 12);
+        let items = |v: NodeId| vec![((v % 6) as u64, [(v * 13 % 17) as u64, v as u64])];
+        let merge = |_: Word, a: [Word; 2], b: [Word; 2]| a.min(b);
+        let mut sim_w = Simulator::new(&g);
+        let (tree_w, _) = build_bfs_tree(&mut sim_w, 2);
+        let (want, _) = converge(&mut sim_w, &tree_w, items, merge);
+        let mut sim_e = Simulator::new(&g);
+        let (tree_e, _) = build_bfs_tree(&mut sim_e, 2);
+        let (got, _) = converge_merged(&mut sim_e, &tree_e, items, merge);
+        assert_eq!(got, want, "eager and watermark roots must agree");
+    }
+
+    #[test]
+    fn eager_converge_passes_the_dense_validator() {
+        let g = generators::grid(5, 5, 4, 3);
+        let mut sim = Simulator::new(&g);
+        sim.set_validate_activation(true);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (got, _) = converge_merged(
+            &mut sim,
+            &tree,
+            |v| vec![((v % 3) as u64, [v as u64, 0])],
+            |_, a, b| a.min(b),
+        );
+        for k in 0..3u64 {
+            let expect = (0..25u64).filter(|v| v % 3 == k).min().unwrap();
+            assert_eq!(got[&k][0], expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn eager_converge_combiner_collapses_superseded_items_in_flight() {
+        // Root 0 — 1 — 2: node 1 holds five backlog keys in front of
+        // its copy of the shared key 100; node 2's better value for
+        // key 100 arrives at node 1 in round 1, while node 1's own copy
+        // is still queued behind the backlog — the improved re-emission
+        // must merge into it in flight.
+        let g = generators::path(3, 1);
+        let run = |set_combiner: bool| {
+            let mut sim = Simulator::new(&g);
+            let (tree, _) = build_bfs_tree(&mut sim, 0);
+            let (map, stats) = converge_merged_with(
+                &mut sim,
+                &tree,
+                |v| match v {
+                    1 => (1..=5)
+                        .map(|k| (k, [k, k]))
+                        .chain([(100, [10, 1])])
+                        .collect(),
+                    2 => vec![(100, [5, 2])],
+                    _ => Vec::new(),
+                },
+                |_, a, b| a.min(b),
+                set_combiner,
+            );
+            (map, stats)
+        };
+        let (map_c, stats_c) = run(true);
+        let (map_u, stats_u) = run(false);
+        assert_eq!(map_c, map_u, "combining must not change the root map");
+        assert_eq!(map_c[&100], [5, 2], "global minimum for the shared key");
+        assert!(
+            stats_c.messages_combined > 0,
+            "superseded shared-key items must merge in flight"
+        );
+        assert_eq!(stats_u.messages_combined, 0);
+        assert!(stats_c.messages_delivered() <= stats_u.messages_delivered());
     }
 
     #[test]

@@ -28,7 +28,11 @@
 //! * [`CombQueue`] — the shared per-edge combining queue behind the
 //!   opt-in clause-7 message combiner ([`Program::combine_key`]):
 //!   relaxation-style programs collapse co-queued superseded updates
-//!   instead of delivering the full churn.
+//!   instead of delivering the full churn,
+//! * [`relax`] — the keyed-relaxation subsystem: canonical wire codec,
+//!   the lawful componentwise-min combiner, dense per-key distance
+//!   tables, and the ready-made [`relax::RelaxProgram`] every
+//!   Bellman–Ford-style program in the workspace is built on.
 //!
 //! # Example: flooding a token
 //!
@@ -64,6 +68,7 @@
 pub mod collective;
 pub mod exec;
 pub mod program;
+pub mod relax;
 pub mod tree;
 
 mod comb;

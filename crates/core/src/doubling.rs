@@ -91,9 +91,9 @@ pub fn doubling_spanner(
         let net_set: HashSet<NodeId> = net_r.points.iter().copied().collect();
         for &v in &net_r.points {
             // v sees every source u that reached it within 2∆
-            let sources: Vec<NodeId> = ms.tables[v]
-                .keys()
-                .copied()
+            let sources: Vec<NodeId> = ms
+                .reached(v)
+                .map(|(u, _, _)| u)
                 .filter(|&u| u < v && net_set.contains(&u))
                 .collect();
             for u in sources {

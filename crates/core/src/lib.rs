@@ -44,4 +44,4 @@ pub use doubling::{doubling_spanner, DoublingSpanner};
 pub use light_spanner::{light_spanner, LightSpannerResult};
 pub use lower_bound::{estimate_mst_weight, MstWeightEstimate};
 pub use nets::{net, net_quality, NetResult};
-pub use slt::{kry_slt, light_slt, shallow_light_tree, SltResult};
+pub use slt::{kry_slt, light_slt, shallow_light_tree, shallow_light_tree_with, SltResult};

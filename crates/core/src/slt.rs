@@ -104,7 +104,29 @@ pub fn shallow_light_tree(
     epsilon: f64,
     seed: u64,
 ) -> SltResult {
+    shallow_light_tree_with(sim, tau, rt, epsilon, seed, None, None)
+}
+
+/// [`shallow_light_tree`] with explicit approximate-SPT knobs: both
+/// internal [`approx_spt`] phases (the SPT of `G` and the final SPT
+/// inside `H`) use `spt_landmarks` / `spt_hop_bound` in place of the
+/// adaptive defaults (see [`SptConfig`]) — the deterministic ablation
+/// surface the `scenario` runner exposes as `landmarks` / `hop_bound`.
+pub fn shallow_light_tree_with(
+    sim: &mut impl Executor,
+    tau: &BfsTree,
+    rt: NodeId,
+    epsilon: f64,
+    seed: u64,
+    spt_landmarks: Option<usize>,
+    spt_hop_bound: Option<u64>,
+) -> SltResult {
     assert!(epsilon > 0.0, "epsilon must be positive");
+    let spt_cfg = |s: u64| SptConfig {
+        landmarks: spt_landmarks,
+        hop_bound: spt_hop_bound,
+        ..SptConfig::new(s)
+    };
     let start = sim.total();
     // Owned copy: the phases below borrow `g` across `&mut sim` runs
     // (see `distributed_mst` for the rationale).
@@ -124,7 +146,7 @@ pub fn shallow_light_tree(
     let mst = distributed_mst(sim, tau, rt, seed);
     let tour = distributed_euler_tour(sim, tau, &mst, rt);
     let routing = TourRouting::new(&tour);
-    let spt = approx_spt(sim, tau, rt, &SptConfig::new(seed ^ 0x51f7));
+    let spt = approx_spt(sim, tau, rt, &spt_cfg(seed ^ 0x51f7));
 
     let (seq, times) = tour.assemble();
     let times = Arc::new(times);
@@ -222,7 +244,7 @@ pub fn shallow_light_tree(
     let (h_graph, id_map) = g.edge_subgraph_with_map(h_edges);
     let mut h_sim = sim.sub(&h_graph);
     let (h_tau, _) = build_bfs_tree(&mut h_sim, rt);
-    let final_spt = approx_spt(&mut h_sim, &h_tau, rt, &SptConfig::new(seed ^ 0x7e57));
+    let final_spt = approx_spt(&mut h_sim, &h_tau, rt, &spt_cfg(seed ^ 0x7e57));
     let h_total = h_sim.total();
     let h_frontier = h_sim.frontier_total();
     sim.charge(h_total);

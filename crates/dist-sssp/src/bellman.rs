@@ -6,23 +6,31 @@
 //! §7. Congestion from overlapping sources is charged automatically by
 //! the simulator's per-edge queues.
 //!
-//! Both programs declare a **per-edge combiner** (contract clause 7):
-//! relaxation messages for the same source supersede each other, so a
-//! staged update merges into the co-queued update for that source by
-//! componentwise minimum over `(distance, hops)` — the survivor
-//! dominates everything it absorbed. For unbounded runs the fixed
-//! point (and hence the outputs) is untouched; for hop-bounded runs
-//! the merged hop counter is never larger than any absorbed one, so
-//! the exploration reaches a (deterministic, engine-identical)
-//! superset of what an uncombined run reaches, with distances that are
-//! still genuine path lengths. The multi-source table churn this
-//! removes is what made SLT sweeps message-bound (see ROADMAP).
+//! Both entry points are thin wrappers over the shared
+//! **keyed-relaxation subsystem** ([`congest::relax`]): sources become
+//! dense key *indices*, per-node state is a flat slot table instead of
+//! a hash map, announcements batch per round, and the lawful clause-7
+//! combiner (componentwise minimum over `(distance, hops)` per source)
+//! collapses co-queued superseded updates — the multi-source table
+//! churn that made SLT sweeps message-bound (see ROADMAP). For
+//! unbounded runs the fixed point (and hence the outputs) equals the
+//! classic Bellman–Ford one; for hop-bounded runs the merged hop
+//! counter is never larger than any absorbed one, so the exploration
+//! reaches a (deterministic, engine-identical) superset of what an
+//! uncombined run reaches, with distances that are still genuine path
+//! lengths.
+//!
+//! The subsystem also reports **truncation**: whether any accepted
+//! improvement arrived with an exhausted hop budget. A run that never
+//! truncated is *provably* identical to an unbounded Bellman–Ford —
+//! the certificate behind [`crate::landmark`]'s adaptive cutoff.
 
-use congest::{pack2, Ctx, Executor, Message, Program, RunStats, Word};
+use congest::relax::{max_finite, RelaxProgram, RelaxTable};
+use congest::{Executor, RunStats};
 use lightgraph::{NodeId, Weight, INF};
-use std::collections::HashMap;
 
 const TAG_RELAX: u64 = 20;
+const TAG_MRELAX: u64 = 21;
 
 /// Result of a single-source run.
 #[derive(Debug, Clone)]
@@ -31,6 +39,10 @@ pub struct SsspResult {
     pub dist: Vec<Weight>,
     /// Predecessor towards the source along a shortest path.
     pub parent: Vec<Option<NodeId>>,
+    /// Whether the hop bound visibly truncated the exploration at any
+    /// node. `false` certifies the distances equal the unbounded fixed
+    /// point (see [`congest::relax::RelaxTable::truncated`]).
+    pub truncated: bool,
     /// Rounds/messages of this computation.
     pub stats: RunStats,
 }
@@ -39,75 +51,10 @@ impl SsspResult {
     /// Largest finite distance estimate — the weighted eccentricity of
     /// the source when the run was unbounded (0 if nothing was
     /// reached). Headline metric for the `scenario` runner's `bellman`
-    /// sweeps.
+    /// sweeps. See [`congest::relax::max_finite`] for the edge-case
+    /// conventions (shared with [`crate::ApproxSpt::max_finite_dist`]).
     pub fn max_finite_dist(&self) -> Weight {
-        crate::max_finite(&self.dist)
-    }
-}
-
-struct BellmanFord {
-    is_source: bool,
-    dist: Weight,
-    hops: u64,
-    parent: Option<NodeId>,
-    bound: Weight,
-    hop_bound: u64,
-}
-
-impl Program for BellmanFord {
-    type Output = (Weight, Option<NodeId>);
-
-    fn init(&mut self, ctx: &mut Ctx<'_>) {
-        if self.is_source {
-            self.dist = 0;
-            self.hops = 0;
-            if self.hop_bound > 0 {
-                ctx.send_all(Message::words(&[TAG_RELAX, 0, 0]));
-            }
-        }
-    }
-
-    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
-        let mut improved = false;
-        for (from, msg) in inbox {
-            debug_assert_eq!(msg.word(0), TAG_RELAX);
-            let w = ctx
-                .neighbors()
-                .iter()
-                .find(|&&(u, _, _)| u == *from)
-                .map(|&(_, w, _)| w)
-                .expect("sender is a neighbor");
-            let nd = msg.word(1).saturating_add(w);
-            // Hop counts travel in the message: congestion may delay a
-            // relaxation past round h without consuming hop budget.
-            let nh = msg.word(2) + 1;
-            if nd < self.dist && nd <= self.bound {
-                self.dist = nd;
-                self.hops = nh;
-                self.parent = Some(*from);
-                improved = true;
-            }
-        }
-        if improved && self.hops < self.hop_bound {
-            ctx.send_all(Message::words(&[TAG_RELAX, self.dist, self.hops]));
-        }
-    }
-
-    fn combine_key(&self, msg: &Message) -> Option<Word> {
-        debug_assert_eq!(msg.word(0), TAG_RELAX);
-        Some(TAG_RELAX)
-    }
-
-    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
-        Message::words(&[
-            TAG_RELAX,
-            queued.word(1).min(incoming.word(1)),
-            queued.word(2).min(incoming.word(2)),
-        ])
-    }
-
-    fn finish(self) -> Self::Output {
-        (self.dist, self.parent)
+        max_finite(&self.dist)
     }
 }
 
@@ -123,7 +70,7 @@ pub fn bellman_ford(sim: &mut impl Executor, src: NodeId) -> SsspResult {
 /// Single-source Bellman–Ford restricted to distance ≤ `bound` and at
 /// most `hop_bound` relaxation rounds.
 ///
-/// The hop bound is a *reach floor*, not a ceiling: the per-edge
+/// The hop bound is a *reach floor*, not a ceiling: the shared
 /// combiner (module docs) merges co-queued updates to the
 /// componentwise `(min distance, min hops)`, so a merged update may
 /// carry a smaller hop counter than the path behind its distance and
@@ -139,52 +86,83 @@ pub fn bounded_bellman_ford(
     bound: Weight,
     hop_bound: u64,
 ) -> SsspResult {
-    let (out, stats) = sim.run(|v, _| BellmanFord {
-        is_source: v == src,
-        dist: INF,
-        hops: 0,
-        parent: None,
-        bound,
-        hop_bound,
+    let (tables, stats) = sim.run(|v, _| {
+        RelaxProgram::new(
+            TAG_RELAX,
+            1,
+            bound,
+            hop_bound,
+            if v == src { vec![0] } else { Vec::new() },
+        )
     });
-    let (dist, parent) = out.into_iter().unzip();
+    let truncated = tables.iter().any(|t| t.truncated);
+    let (dist, parent) = tables
+        .iter()
+        .map(|t| (t.dist(0).unwrap_or(INF), t.parent(0)))
+        .unzip();
     SsspResult {
         dist,
         parent,
+        truncated,
         stats,
     }
 }
 
-/// Result of a multi-source run: per-vertex tables keyed by source.
+/// Result of a multi-source run: dense per-vertex tables keyed by
+/// *source index* (the position of the source in the sorted, deduped
+/// [`MultiSourceResult::sources`]), straight from the keyed-relaxation
+/// subsystem — no per-node hash maps.
 #[derive(Debug, Clone)]
 pub struct MultiSourceResult {
-    /// `tables[v][src] = (distance, predecessor towards src)`.
-    pub tables: Vec<HashMap<NodeId, (Weight, Option<NodeId>)>>,
+    /// The sources, sorted ascending and deduplicated: the key space of
+    /// every table.
+    pub sources: Vec<NodeId>,
+    /// `tables[v]` — the dense relaxation table of vertex `v` (empty
+    /// when the bounded exploration never reached `v`).
+    pub tables: Vec<RelaxTable>,
+    /// Whether the hop bound visibly truncated any exploration (see
+    /// [`SsspResult::truncated`]).
+    pub truncated: bool,
     /// Rounds/messages of this computation.
     pub stats: RunStats,
 }
 
 impl MultiSourceResult {
-    /// Distance from `src` to `v`, if the exploration reached it.
-    pub fn dist(&self, src: NodeId, v: NodeId) -> Option<Weight> {
-        self.tables[v].get(&src).map(|&(d, _)| d)
+    /// The key index of `src`, if it was a source.
+    pub fn source_index(&self, src: NodeId) -> Option<usize> {
+        self.sources.binary_search(&src).ok()
     }
 
-    /// Nearest source to `v` with its distance.
+    /// Distance from `src` to `v`, if the exploration reached it.
+    pub fn dist(&self, src: NodeId, v: NodeId) -> Option<Weight> {
+        self.tables[v].dist(self.source_index(src)?)
+    }
+
+    /// Nearest source to `v` with its distance (ties broken towards the
+    /// smaller source id, matching the ascending key order).
     pub fn nearest(&self, v: NodeId) -> Option<(NodeId, Weight)> {
+        self.tables[v].nearest().map(|(k, d)| (self.sources[k], d))
+    }
+
+    /// Iterates the sources that reached `v` in ascending source order,
+    /// as `(source, distance, predecessor)`.
+    pub fn reached(
+        &self,
+        v: NodeId,
+    ) -> impl Iterator<Item = (NodeId, Weight, Option<NodeId>)> + '_ {
         self.tables[v]
-            .iter()
-            .map(|(&s, &(d, _))| (s, d))
-            .min_by_key(|&(s, d)| (d, s))
+            .iter_reached()
+            .map(|(k, d, p)| (self.sources[k], d, p))
     }
 
     /// Walks predecessors from `v` back to `src`, returning the vertex
     /// path `[src, …, v]`, or `None` if `src` never reached `v`.
     pub fn path_from(&self, src: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
-        self.tables[v].get(&src)?;
+        let key = self.source_index(src)?;
+        self.tables[v].get(key)?;
         let mut path = vec![v];
         let mut cur = v;
-        while let Some(&(_, Some(p))) = self.tables[cur].get(&src) {
+        while let Some(p) = self.tables[cur].parent(key) {
             path.push(p);
             cur = p;
         }
@@ -195,85 +173,10 @@ impl MultiSourceResult {
     }
 }
 
-const TAG_MRELAX: u64 = 21;
-
-struct MultiBellmanFord {
-    source_here: bool,
-    bound: Weight,
-    hop_bound: u64,
-    table: HashMap<NodeId, (Weight, Option<NodeId>)>,
-    hops: HashMap<NodeId, u64>,
-}
-
-impl Program for MultiBellmanFord {
-    type Output = HashMap<NodeId, (Weight, Option<NodeId>)>;
-
-    fn init(&mut self, ctx: &mut Ctx<'_>) {
-        if self.source_here {
-            self.table.insert(ctx.node(), (0, None));
-            self.hops.insert(ctx.node(), 0);
-            if self.hop_bound > 0 {
-                ctx.send_all(Message::words(&[TAG_MRELAX, ctx.node() as u64, 0, 0]));
-            }
-        }
-    }
-
-    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
-        let mut updates: Vec<(NodeId, Weight, u64)> = Vec::new();
-        for (from, msg) in inbox {
-            debug_assert_eq!(msg.word(0), TAG_MRELAX);
-            let src = msg.word(1) as NodeId;
-            let w = ctx
-                .neighbors()
-                .iter()
-                .find(|&&(u, _, _)| u == *from)
-                .map(|&(_, w, _)| w)
-                .expect("sender is a neighbor");
-            let nd = msg.word(2).saturating_add(w);
-            let nh = msg.word(3) + 1;
-            if nd > self.bound {
-                continue;
-            }
-            let better = self.table.get(&src).map(|&(d, _)| nd < d).unwrap_or(true);
-            if better {
-                self.table.insert(src, (nd, Some(*from)));
-                self.hops.insert(src, nh);
-                updates.push((src, nd, nh));
-            }
-        }
-        for (src, d, h) in updates {
-            if h < self.hop_bound {
-                ctx.send_all(Message::words(&[TAG_MRELAX, src as u64, d, h]));
-            }
-        }
-    }
-
-    /// One combining key per source: updates for distinct sources never
-    /// merge, successive updates for the same source collapse to the
-    /// dominating `(min distance, min hops)` while they share a queue.
-    fn combine_key(&self, msg: &Message) -> Option<Word> {
-        debug_assert_eq!(msg.word(0), TAG_MRELAX);
-        Some(pack2(TAG_MRELAX, msg.word(1)))
-    }
-
-    fn combine(&self, queued: &Message, incoming: &Message) -> Message {
-        debug_assert_eq!(queued.word(1), incoming.word(1), "same source");
-        Message::words(&[
-            TAG_MRELAX,
-            queued.word(1),
-            queued.word(2).min(incoming.word(2)),
-            queued.word(3).min(incoming.word(3)),
-        ])
-    }
-
-    fn finish(self) -> Self::Output {
-        self.table
-    }
-}
-
 /// Multi-source distance/hop-bounded Bellman–Ford with per-source
 /// predecessor (path) reporting — the \[EN16\] hopset-exploration
-/// substitute used by §7 (see DESIGN.md).
+/// substitute used by §7 (see DESIGN.md), as one [`RelaxProgram`] run
+/// over the sorted source indices.
 ///
 /// All sources explore in parallel; the per-edge bandwidth cap charges
 /// the congestion of overlapping explorations honestly.
@@ -292,15 +195,26 @@ pub fn multi_source_bounded(
     bound: Weight,
     hop_bound: u64,
 ) -> MultiSourceResult {
-    let src_set: std::collections::HashSet<NodeId> = sources.iter().copied().collect();
-    let (tables, stats) = sim.run(|v, _| MultiBellmanFord {
-        source_here: src_set.contains(&v),
-        bound,
-        hop_bound,
-        table: HashMap::new(),
-        hops: HashMap::new(),
+    let mut sorted: Vec<NodeId> = sources.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let keys = sorted.len();
+    let sorted_ref = &sorted;
+    let (tables, stats) = sim.run(|v, _| {
+        let seeds = sorted_ref
+            .binary_search(&v)
+            .ok()
+            .map(|k| vec![k as u32])
+            .unwrap_or_default();
+        RelaxProgram::new(TAG_MRELAX, keys, bound, hop_bound, seeds)
     });
-    MultiSourceResult { tables, stats }
+    let truncated = tables.iter().any(|t| t.truncated);
+    MultiSourceResult {
+        sources: sorted,
+        tables,
+        truncated,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +231,7 @@ mod tests {
             let r = bellman_ford(&mut sim, 0);
             let oracle = dijkstra::shortest_paths(&g, 0);
             assert_eq!(r.dist, oracle.dist);
+            assert!(!r.truncated, "unbounded runs never truncate");
         }
     }
 
@@ -352,12 +267,17 @@ mod tests {
     }
 
     #[test]
-    fn hop_bound_truncates() {
+    fn hop_bound_truncates_and_is_flagged() {
         let g = generators::path(8, 1);
         let mut sim = Simulator::new(&g);
         let r = bounded_bellman_ford(&mut sim, 0, INF, 3);
         assert_eq!(r.dist[3], 3);
         assert_eq!(r.dist[4], INF, "4 hops exceeds the bound");
+        assert!(r.truncated, "the bound visibly bit");
+        let mut sim = Simulator::new(&g);
+        let r = bounded_bellman_ford(&mut sim, 0, INF, 20);
+        assert_eq!(r.dist[7], 7);
+        assert!(!r.truncated, "slack bound behaves as unbounded");
     }
 
     #[test]
@@ -387,6 +307,11 @@ mod tests {
             "vertex 4 is beyond the bound from both sources"
         );
         assert_eq!(r.nearest(1), Some((0, 5)));
+        assert_eq!(
+            r.reached(1).collect::<Vec<_>>(),
+            vec![(0, 5, Some(0))],
+            "dense tables iterate in ascending source order"
+        );
     }
 
     #[test]
@@ -413,5 +338,15 @@ mod tests {
             }
             assert_eq!(total, oracle.dist[v]);
         }
+    }
+
+    #[test]
+    fn duplicate_and_unsorted_sources_are_canonicalized() {
+        let g = generators::path(6, 2);
+        let mut sim = Simulator::new(&g);
+        let r = multi_source_bounded(&mut sim, &[5, 0, 5], INF, u64::MAX);
+        assert_eq!(r.sources, vec![0, 5]);
+        assert_eq!(r.source_index(5), Some(1));
+        assert_eq!(r.dist(5, 3), Some(4));
     }
 }

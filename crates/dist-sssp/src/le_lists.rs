@@ -21,10 +21,23 @@
 //! close, and only surviving triples propagate. A distance bound keeps
 //! the computation local, which is all §6 needs (the net test only
 //! inspects the list up to distance ∆).
+//!
+//! The wire format and the clause-7 combiner come from the shared
+//! keyed-relaxation subsystem ([`congest::relax`]): triples travel as
+//! canonical `(key = origin vertex, dist, aux = rank)` messages and
+//! merge by the subsystem's componentwise minimum (the rank is a pure
+//! function of the vertex, so equal per key — the minimum keeps it).
+//! Unlike the Bellman–Ford family, the *table* is not the dense
+//! [`congest::relax::KeyedRelaxation`]: the key space is all of `V`,
+//! and it is exactly the π-domination filter that keeps LE state and
+//! traffic at `O(log n)` per node — a dense per-origin table would be
+//! Θ(n) per node and defeat the lists' point. The domination list
+//! stays; everything message-shaped is the subsystem's.
 
 use congest::collective;
+use congest::relax::{self, RelaxMsg};
 use congest::tree::BfsTree;
-use congest::{pack2, Ctx, Executor, Message, Program, RunStats, Word};
+use congest::{Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::{NodeId, Weight};
 use std::collections::HashMap;
 
@@ -111,6 +124,20 @@ impl LeProgram {
     }
 }
 
+impl LeProgram {
+    /// The canonical wire form of an entry (subsystem codec: key =
+    /// origin vertex, aux = permutation rank).
+    fn encode(entry: Entry) -> Message {
+        let (rk, u, d) = entry;
+        RelaxMsg {
+            key: u as u64,
+            dist: d,
+            aux: rk,
+        }
+        .encode(TAG_LE)
+    }
+}
+
 impl Program for LeProgram {
     type Output = Vec<Entry>;
 
@@ -118,49 +145,38 @@ impl Program for LeProgram {
         if self.active {
             let me = (self.rank, ctx.node(), 0);
             self.offer(me);
-            ctx.send_all(Message::words(&[TAG_LE, self.rank, ctx.node() as u64, 0]));
+            ctx.send_all(Self::encode(me));
         }
     }
 
     fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
         let mut fresh: Vec<Entry> = Vec::new();
         for (from, msg) in inbox {
-            debug_assert_eq!(msg.word(0), TAG_LE);
+            let m = RelaxMsg::decode(TAG_LE, msg);
             let w = *self.weights.get(from).expect("sender is a neighbor");
-            let e = (
-                msg.word(1),
-                msg.word(2) as NodeId,
-                msg.word(3).saturating_add(w),
-            );
+            let e = (m.aux, m.key as NodeId, m.dist.saturating_add(w));
             if self.offer(e) {
                 fresh.push(e);
             }
         }
-        for (rk, u, d) in fresh {
-            ctx.send_all(Message::words(&[TAG_LE, rk, u as u64, d]));
+        for e in fresh {
+            ctx.send_all(Self::encode(e));
         }
     }
 
-    /// Per-edge combiner (contract clause 7): triples for the same
-    /// origin vertex supersede each other (the rank is a function of
-    /// the vertex), so co-queued ones collapse to the minimum distance.
-    /// The LE list is the order-independent non-dominated fixed point,
-    /// so delivering only the dominating triple leaves outputs
+    /// Per-edge combiner (contract clause 7), straight from the
+    /// subsystem: triples for the same origin vertex supersede each
+    /// other (the rank is a function of the vertex), so co-queued ones
+    /// collapse to the componentwise minimum — minimum distance, same
+    /// rank. The LE list is the order-independent non-dominated fixed
+    /// point, so delivering only the dominating triple leaves outputs
     /// untouched.
     fn combine_key(&self, msg: &Message) -> Option<Word> {
-        debug_assert_eq!(msg.word(0), TAG_LE);
-        Some(pack2(TAG_LE, msg.word(2)))
+        Some(relax::combine_key(msg))
     }
 
     fn combine(&self, queued: &Message, incoming: &Message) -> Message {
-        debug_assert_eq!(queued.word(2), incoming.word(2), "same origin vertex");
-        debug_assert_eq!(queued.word(1), incoming.word(1), "rank is per-vertex");
-        Message::words(&[
-            TAG_LE,
-            queued.word(1),
-            queued.word(2),
-            queued.word(3).min(incoming.word(3)),
-        ])
+        relax::combine_min(queued, incoming)
     }
 
     fn finish(mut self) -> Self::Output {

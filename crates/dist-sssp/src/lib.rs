@@ -17,16 +17,12 @@ pub mod bellman;
 pub mod landmark;
 pub mod le_lists;
 
-/// Largest finite entry of a distance vector (0 if none): the shared
-/// headline-metric kernel behind `SsspResult::max_finite_dist` and
-/// `ApproxSpt::max_finite_dist`.
-pub fn max_finite(dist: &[lightgraph::Weight]) -> lightgraph::Weight {
-    dist.iter()
-        .copied()
-        .filter(|&d| d < lightgraph::INF)
-        .max()
-        .unwrap_or(0)
-}
+/// The shared headline-metric kernel behind `SsspResult::max_finite_dist`
+/// and `ApproxSpt::max_finite_dist` now lives in the keyed-relaxation
+/// subsystem ([`congest::relax::max_finite`]) next to the tables it
+/// summarizes; re-exported here for the crate's consumers. See its docs
+/// for the all-unreachable and overflowed-entry conventions.
+pub use congest::relax::max_finite;
 
 pub use bellman::{
     bellman_ford, bounded_bellman_ford, multi_source_bounded, MultiSourceResult, SsspResult,

@@ -9,7 +9,7 @@
 //! bench --out path.json         # alternate output path
 //! bench --threads 4             # worker threads (default 1: the
 //!                               #   trajectory tracks one-core numbers)
-//! bench --quick                 # the CI-gate subset (100k BFS + 1k/2k SLT)
+//! bench --quick                 # the CI-gate subset (100k BFS + 1k/2k/8k SLT)
 //! bench --check BASELINE.json   # re-run and diff the deterministic
 //!                               #   columns against a committed baseline;
 //!                               #   exit 1 on any drift (no file written)
@@ -30,10 +30,12 @@
 //!
 //! * geometric BFS at 100k, 500k and 1M nodes (round-bound; the
 //!   frontier-scheduling showcase), and
-//! * geometric SLT at 1k, 2k and 4k nodes — the message-bound
-//!   workload. Per-edge combining (contract clause 7) collapses the
-//!   multi-source relaxation churn, which is what made n = 4k
-//!   feasible on one core.
+//! * geometric SLT at 1k, 2k, 4k and 8k nodes — the formerly
+//!   message-bound workload. Per-edge combining (contract clause 7)
+//!   collapsed the multi-source relaxation churn (made 4k feasible);
+//!   the keyed-relaxation subsystem's adaptive landmark cutoff plus
+//!   the combiner-aware gather removed the landmark phases outright on
+//!   these shallow instances (made 8k a quick-gate workload).
 //!
 //! Each entry reports throughput (`rounds_per_sec`, `msgs_per_sec`,
 //! `wall_ms`), the message-volume split (`messages` sent vs
@@ -50,22 +52,25 @@ use std::time::Instant;
 
 /// One pinned workload: (family, algorithm, n). All use seed 1 and the
 /// scenario runner's default parameters.
-const WORKLOADS: [(&str, &str, usize); 6] = [
+const WORKLOADS: [(&str, &str, usize); 7] = [
     ("geometric", "bfs", 100_000),
     ("geometric", "bfs", 500_000),
     ("geometric", "bfs", 1_000_000),
     ("geometric", "slt", 1_000),
     ("geometric", "slt", 2_000),
     ("geometric", "slt", 4_000),
+    ("geometric", "slt", 8_000),
 ];
 
 /// The `--quick` subset, used by the CI bench-regression gate: one
-/// frontier-bound workload (100k BFS) and the two message-bound SLT
-/// sizes small enough for a PR-latency run.
-const QUICK: [(&str, &str, usize); 3] = [
+/// frontier-bound workload (100k BFS) and the SLT sizes small enough
+/// for a PR-latency run — including 8k, which the keyed-relaxation
+/// subsystem and the adaptive landmark cutoff brought under that bar.
+const QUICK: [(&str, &str, usize); 4] = [
     ("geometric", "bfs", 100_000),
     ("geometric", "slt", 1_000),
     ("geometric", "slt", 2_000),
+    ("geometric", "slt", 8_000),
 ];
 
 const SEED: u64 = 1;
@@ -196,12 +201,7 @@ fn main() {
         WORKLOADS.to_vec()
     };
 
-    let params = AlgoParams {
-        eps: 0.5,
-        k: 2,
-        net_delta: 0,
-        net_slack: 0.5,
-    };
+    let params = AlgoParams::default();
 
     let mut entries: Vec<Entry> = Vec::new();
     for (family, algorithm, n) in workloads {

@@ -26,7 +26,7 @@ use dist_sssp::bellman::bellman_ford;
 use dist_sssp::landmark::{approx_spt, SptConfig};
 use lightgraph::{generators, Graph, Weight};
 use lightnet::nets::net;
-use lightnet::{doubling_spanner, light_spanner, shallow_light_tree};
+use lightnet::{doubling_spanner, light_spanner, shallow_light_tree_with};
 use std::io::Write;
 use std::time::Instant;
 
@@ -212,6 +212,27 @@ pub struct AlgoParams {
     pub net_delta: Weight,
     /// `net_slack` — the net's δ slack.
     pub net_slack: f64,
+    /// `landmarks` — forces the landmark SPT's full scheme with exactly
+    /// this many landmarks (`slt` and `landmark` cells). Absent =
+    /// adaptive (root-probe cutoff; see `dist_sssp::landmark`).
+    pub landmarks: Option<usize>,
+    /// `hop_bound` — hop budget of the landmark SPT's bounded
+    /// explorations. Absent = the `2⌈√n⌉` default.
+    pub hop_bound: Option<u64>,
+}
+
+impl Default for AlgoParams {
+    /// The scenario defaults: every knob at its documented default.
+    fn default() -> Self {
+        AlgoParams {
+            eps: 0.5,
+            k: 2,
+            net_delta: 0,
+            net_slack: 0.5,
+            landmarks: None,
+            hop_bound: None,
+        }
+    }
 }
 
 /// Runs one algorithm on one executor; returns stats plus a headline
@@ -236,7 +257,7 @@ pub fn drive<E: Executor>(
         }
         "slt" => {
             let (tau, _) = build_bfs_tree(exec, 0);
-            let slt = shallow_light_tree(exec, &tau, 0, p.eps, seed);
+            let slt = shallow_light_tree_with(exec, &tau, 0, p.eps, seed, p.landmarks, p.hop_bound);
             Ok((exec.total(), "breakpoints", slt.breakpoints as u64))
         }
         "spanner" => {
@@ -271,7 +292,12 @@ pub fn drive<E: Executor>(
         }
         "landmark" => {
             let (tau, _) = build_bfs_tree(exec, 0);
-            let spt = approx_spt(exec, &tau, 0, &SptConfig::new(seed));
+            let cfg = SptConfig {
+                landmarks: p.landmarks,
+                hop_bound: p.hop_bound,
+                ..SptConfig::new(seed)
+            };
+            let spt = approx_spt(exec, &tau, 0, &cfg);
             Ok((exec.total(), "max_dist", spt.max_finite_dist()))
         }
         other => Err(format!(
@@ -386,6 +412,70 @@ pub fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), Stri
     Ok(())
 }
 
+/// Parses and validates the per-cell algorithm knobs of one `[[run]]`
+/// table. Zero or absurd values are configuration mistakes (a zero hop
+/// bound kills every exploration, zero landmarks silently degenerates
+/// the scheme, a non-positive slack violates Theorem 3's premise), so
+/// they fail the sweep loudly instead of producing misleading rows.
+fn parse_algo_params(ri: usize, run: &Table) -> Result<AlgoParams, String> {
+    let eps = run.f64_or("eps", 0.5);
+    if !eps.is_finite() || eps <= 0.0 || eps > 64.0 {
+        return Err(format!(
+            "[[run]] #{ri}: `eps` must be in (0, 64], got {eps}"
+        ));
+    }
+    let k = run.int_or("k", 2);
+    if k < 1 {
+        return Err(format!("[[run]] #{ri}: `k` must be >= 1, got {k}"));
+    }
+    let net_delta = run.int_or("net_delta", 0);
+    if net_delta < 0 {
+        return Err(format!(
+            "[[run]] #{ri}: `net_delta` must be >= 0 (0 = auto), got {net_delta}"
+        ));
+    }
+    let net_slack = run.f64_or("net_slack", 0.5);
+    if !net_slack.is_finite() || net_slack <= 0.0 || net_slack > 64.0 {
+        return Err(format!(
+            "[[run]] #{ri}: `net_slack` must be in (0, 64], got {net_slack}"
+        ));
+    }
+    let landmarks = match run.get("landmarks") {
+        None => None,
+        Some(v) => match v.as_int() {
+            Some(l) if (1..=1i64 << 32).contains(&l) => Some(l as usize),
+            Some(l) => {
+                return Err(format!(
+                    "[[run]] #{ri}: `landmarks` must be in [1, 2^32] \
+                     (omit the key for the adaptive default), got {l}"
+                ))
+            }
+            None => return Err(format!("[[run]] #{ri}: `landmarks` must be an integer")),
+        },
+    };
+    let hop_bound = match run.get("hop_bound") {
+        None => None,
+        Some(v) => match v.as_int() {
+            Some(h) if h >= 1 => Some(h as u64),
+            Some(h) => {
+                return Err(format!(
+                    "[[run]] #{ri}: `hop_bound` must be >= 1 \
+                     (omit the key for the 2⌈√n⌉ default), got {h}"
+                ))
+            }
+            None => return Err(format!("[[run]] #{ri}: `hop_bound` must be an integer")),
+        },
+    };
+    Ok(AlgoParams {
+        eps,
+        k: k as usize,
+        net_delta: net_delta as Weight,
+        net_slack,
+        landmarks,
+        hop_bound,
+    })
+}
+
 fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> Result<(), String> {
     let family = run.str_or("family", "erdos-renyi").to_owned();
     let sizes = run.ints("sizes");
@@ -408,12 +498,7 @@ fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> 
             s.into_iter().map(|x| x as u64).collect()
         }
     };
-    let params = AlgoParams {
-        eps: run.f64_or("eps", 0.5),
-        k: run.int_or("k", 2).max(1) as usize,
-        net_delta: run.int_or("net_delta", 0).max(0) as Weight,
-        net_slack: run.f64_or("net_slack", 0.5),
-    };
+    let params = parse_algo_params(ri, run)?;
     let max_w = run.int_or("max_w", 100).max(1) as u64;
 
     for &size in &sizes {
@@ -452,4 +537,46 @@ fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> 
         }
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_err(body: &str) -> String {
+        let doc = config::parse(body).expect("config parses");
+        let mut out = Vec::new();
+        run_sweep(&doc, &mut out).expect_err("sweep must be rejected")
+    }
+
+    #[test]
+    fn zero_and_absurd_knobs_are_rejected_loudly() {
+        let cell = |extra: &str| {
+            format!(
+                "engine = \"sim\"\n[[run]]\nfamily = \"grid\"\nsizes = [16]\n\
+                 algorithms = [\"bfs\"]\n{extra}\n"
+            )
+        };
+        assert!(sweep_err(&cell("hop_bound = 0")).contains("hop_bound"));
+        assert!(sweep_err(&cell("hop_bound = -3")).contains("hop_bound"));
+        assert!(sweep_err(&cell("landmarks = 0")).contains("landmarks"));
+        assert!(sweep_err(&cell("landmarks = -1")).contains("landmarks"));
+        assert!(sweep_err(&cell("eps = 0.0")).contains("eps"));
+        assert!(sweep_err(&cell("eps = -1.0")).contains("eps"));
+        assert!(sweep_err(&cell("eps = 1000.0")).contains("eps"));
+        assert!(sweep_err(&cell("k = 0")).contains("`k`"));
+        assert!(sweep_err(&cell("net_delta = -5")).contains("net_delta"));
+        assert!(sweep_err(&cell("net_slack = 0.0")).contains("net_slack"));
+    }
+
+    #[test]
+    fn valid_knobs_reach_the_algorithms() {
+        let body = "engine = \"sim\"\n[[run]]\nfamily = \"geometric\"\nsizes = [48]\n\
+                    algorithms = [\"landmark\"]\nlandmarks = 6\nhop_bound = 4\n";
+        let doc = config::parse(body).expect("config parses");
+        let mut out = Vec::new();
+        run_sweep(&doc, &mut out).expect("sweep runs");
+        let rows = String::from_utf8(out).unwrap();
+        assert!(rows.contains("\"algorithm\":\"landmark\""));
+    }
 }

@@ -428,6 +428,38 @@ proptest! {
         }
     }
 
+    /// The adaptive probe usually certifies shallow random instances,
+    /// so the default-config property above mostly exercises the
+    /// probe-only fast path. This variant forces the full landmark
+    /// scheme (explicit `landmarks`) under a hop bound tight enough to
+    /// truncate, pinning the multi-source relaxation, the unordered-
+    /// pair combiner-aware gather, and the landmark-graph broadcast
+    /// bit-identical across engines.
+    #[test]
+    fn prop_landmark_spt_forced_scheme_identical((g, seed) in arb_graph()) {
+        let cfg = SptConfig {
+            landmarks: Some((g.n() / 4).max(1)),
+            hop_bound: Some(3),
+            ..SptConfig::new(seed)
+        };
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ss = approx_spt(&mut sim, &tau, 0, &cfg);
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let se = approx_spt(&mut eng, &tau_e, 0, &cfg);
+            prop_assert_eq!(&ss.dist, &se.dist, "estimates (threads={})", threads);
+            prop_assert_eq!(&ss.parent, &se.parent, "parents (threads={})", threads);
+            prop_assert_eq!(ss.stats, se.stats, "stats (threads={})", threads);
+            prop_assert_eq!(
+                Executor::frontier_total(&eng),
+                sim.frontier_total(),
+                "frontier stats (threads={})", threads
+            );
+        }
+    }
+
     /// Activation semantics: programs that go quiescent and later
     /// reactivate on message receipt must behave identically on the
     /// simulator (the frontier-scheduling oracle) and the engine at
@@ -556,6 +588,63 @@ proptest! {
         }
     }
 
+    /// Combiner-aware collectives wall: the eager convergecast
+    /// (`converge_merged`) must (a) reach the same root map as the
+    /// watermark path, (b) be bit-identical to its own *non-combined*
+    /// variant in outputs while never delivering more, (c) be fully
+    /// bit-identical to the non-combined variant — outputs, `RunStats`,
+    /// frontier totals — when the cap does not bind (nothing ever
+    /// co-queues), and (d) be bit-identical across Simulator and
+    /// Engine, combine counters and frontier totals included.
+    #[test]
+    fn prop_combiner_aware_collectives_identical((g, seed) in arb_graph()) {
+        let items = move |v: NodeId| vec![
+            (((v as u64) * 7 + seed) % 9, [(v as u64 * 31 + seed) % 23, v as u64]),
+            ((v % 5) as u64 + 100, [(v as u64).wrapping_mul(13) % 19, v as u64]),
+        ];
+        let merge = |_: congest::Word, a: [congest::Word; 2], b: [congest::Word; 2]| a.min(b);
+        let run_sim = |combined: bool, cap: usize| {
+            let mut sim = Simulator::new(&g);
+            Executor::set_cap(&mut sim, cap);
+            let (tau, _) = build_bfs_tree(&mut sim, 0);
+            let (map, stats) =
+                collective::converge_merged_with(&mut sim, &tau, items, merge, combined);
+            (map, stats, sim.frontier_total())
+        };
+        // (a) same root map as the watermark convergecast.
+        let mut sim_w = Simulator::new(&g);
+        let (tau_w, _) = build_bfs_tree(&mut sim_w, 0);
+        let (map_w, _) = collective::converge(&mut sim_w, &tau_w, items, merge);
+        let (map_c, stats_c, frontier_c) = run_sim(true, 1);
+        prop_assert_eq!(&map_w, &map_c, "eager vs watermark root map");
+        // (b) non-combined eager path: same outputs, never fewer merges.
+        let (map_u, stats_u, _) = run_sim(false, 1);
+        prop_assert_eq!(&map_c, &map_u, "combining changed the root map");
+        prop_assert_eq!(stats_u.messages_combined, 0);
+        prop_assert!(stats_c.messages_delivered() <= stats_u.messages_delivered());
+        prop_assert!(stats_c.rounds <= stats_u.rounds);
+        // (c) slack cap ⇒ nothing co-queues ⇒ full bit-identity.
+        let slack = g.n().max(8);
+        let (map_cs, stats_cs, frontier_cs) = run_sim(true, slack);
+        let (map_us, stats_us, frontier_us) = run_sim(false, slack);
+        prop_assert_eq!(&map_cs, &map_us);
+        prop_assert_eq!(stats_cs, stats_us, "slack-cap runs must be bit-identical");
+        prop_assert_eq!(frontier_cs, frontier_us);
+        // (d) cross-engine bit-identity for the combined path.
+        for threads in THREADS {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let (map_e, stats_e) =
+                collective::converge_merged(&mut eng, &tau_e, items, merge);
+            prop_assert_eq!(&map_c, &map_e, "outputs (threads={})", threads);
+            prop_assert_eq!(stats_c, stats_e, "stats (threads={})", threads);
+            prop_assert_eq!(
+                frontier_c, Executor::frontier_total(&eng),
+                "frontier stats (threads={})", threads
+            );
+        }
+    }
+
     #[test]
     fn prop_cap_ablation_identical((g, _seed) in arb_graph(), cap in 1usize..4) {
         let mut sim = Simulator::new(&g);
@@ -580,12 +669,7 @@ proptest! {
 #[test]
 fn all_algorithms_pass_the_activation_validator() {
     let g = engine::scenario::build_graph("geometric", 64, 100, 7).expect("pinned family");
-    let params = engine::scenario::AlgoParams {
-        eps: 0.5,
-        k: 2,
-        net_delta: 0,
-        net_slack: 0.5,
-    };
+    let params = engine::scenario::AlgoParams::default();
     for algorithm in engine::scenario::ALGORITHMS {
         let mut plain = Simulator::new(&g);
         let (stats_p, _, metric_p) =
@@ -667,6 +751,61 @@ fn relaxation_combiner_fires_on_a_pinned_instance() {
         stats.messages_delivered(),
         stats.messages - stats.messages_combined
     );
+}
+
+/// The combiner-aware gather's clause-7 merge demonstrably fires on a
+/// pinned SLT-style landmark gather — the exact shape `approx_spt`
+/// ships: a hop-truncated multi-source exploration whose pairwise
+/// bounded distances are gathered under unordered-pair keys with a
+/// min merge. Truncation under heterogeneous weights makes the two
+/// endpoints of a pair report *different* genuine path lengths, and
+/// the superseded report must merge into its co-queued rival in
+/// flight. Guards against a regression that silently turns the
+/// collectives' combining into a no-op (the equivalence properties
+/// above would still pass).
+#[test]
+fn gather_combiner_fires_on_a_pinned_slt_instance() {
+    use dist_sssp::bellman::multi_source_bounded;
+    use lightgraph::INF;
+
+    let g = generators::erdos_renyi(120, 0.06, 1000, 5);
+    let mut sim = Simulator::new(&g);
+    let (tau, _) = build_bfs_tree(&mut sim, 0);
+    let sources: Vec<NodeId> = (0..g.n()).step_by(3).collect();
+    let ms = multi_source_bounded(&mut sim, &sources, INF, 4);
+    assert!(ms.truncated, "the hop bound must bite for this regime");
+    let before = sim.total();
+    let ms_ref = &ms;
+    let srcs = &ms.sources;
+    let (pairs, _) = collective::gather_merged(&mut sim, &tau, |v| {
+        if let Ok(vi) = srcs.binary_search(&v) {
+            ms_ref.tables[v]
+                .iter_reached()
+                .filter(|&(si, _, _)| si != vi)
+                .map(|(si, d, _)| {
+                    let (a, b) = if si < vi { (si, vi) } else { (vi, si) };
+                    (congest::pack2(a as u64, b as u64), [d, 0])
+                })
+                .collect()
+        } else {
+            Vec::new()
+        }
+    });
+    let delta = sim.total().since(before);
+    assert!(
+        delta.messages_combined > 0,
+        "expected the in-flight gather merge to fire, got none"
+    );
+    // The gathered landmark graph is sane: every pair's distance is the
+    // minimum of the two endpoints' reports.
+    for (&key, &val) in &pairs {
+        let (a, b) = congest::unpack2(key);
+        assert!(a < b, "unordered pair keys are canonical");
+        let d_ab = ms.dist(ms.sources[a as usize], ms.sources[b as usize]);
+        let d_ba = ms.dist(ms.sources[b as usize], ms.sources[a as usize]);
+        let want = d_ab.into_iter().chain(d_ba).min().expect("pair reported");
+        assert_eq!(val[0], want, "pair ({a},{b})");
+    }
 }
 
 /// A BFS wave over a long path is the canonical frontier workload: the

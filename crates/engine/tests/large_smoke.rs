@@ -1,14 +1,19 @@
 //! Large-n scaling smoke: 100k-node geometric BFS through the
-//! grid-bucketed generator and the parallel engine.
+//! grid-bucketed generator and the parallel engine, plus the 8k-node
+//! geometric SLT that the keyed-relaxation subsystem and the adaptive
+//! landmark cutoff made feasible.
 //!
 //! `#[ignore]`d so `cargo test` stays fast; the CI `large-smoke` job
-//! (nightly-style schedule) runs it with `--include-ignored` so a
-//! regression in generator complexity or engine scaling fails fast
-//! instead of silently pushing sweeps from seconds back to hours.
+//! (nightly-style schedule) runs them with `--include-ignored` so a
+//! regression in generator complexity, engine scaling, or relaxation
+//! message volume fails fast instead of silently pushing sweeps from
+//! seconds back to hours.
 
 use congest::tree::build_bfs_tree;
+use congest::Executor;
 use engine::Engine;
 use lightgraph::generators;
+use lightnet::shallow_light_tree;
 use std::time::Instant;
 
 #[test]
@@ -49,4 +54,34 @@ fn geometric_100k_bfs_scales() {
         stats.messages > g.m() as u64,
         "BFS floods every edge at least once"
     );
+}
+
+#[test]
+#[ignore = "large-n smoke (8k geometric SLT); nightly CI runs it with --include-ignored"]
+fn geometric_8k_slt_end_to_end() {
+    let n = 8_000;
+    let radius = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let g = generators::random_geometric(n, radius, 1);
+    assert!(g.is_connected(), "generator must stitch components");
+
+    let mut eng = Engine::with_threads(&g, 4);
+    let (tau, _) = build_bfs_tree(&mut eng, 0);
+    let start = Instant::now();
+    let slt = shallow_light_tree(&mut eng, &tau, 0, 0.5, 1);
+    let wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(slt.edges.len(), n - 1, "SLT must be a spanning tree");
+    assert!(slt.breakpoints > 0);
+    let h = g.edge_subgraph_dedup(slt.edges.iter().copied());
+    assert!(h.is_connected());
+    // The adaptive landmark cutoff is what makes this size tractable:
+    // before it, the two SPT phases alone delivered >60M messages at
+    // n = 8k. A generous ceiling still catches a relaxation-volume
+    // regression of that order.
+    let delivered = Executor::total(&eng).messages_delivered();
+    assert!(
+        delivered < 40_000_000,
+        "SLT@8k delivered {delivered} messages — relaxation-volume regression?"
+    );
+    assert!(wall < 300.0, "SLT@8k took {wall:.0}s — scaling regression?");
 }
