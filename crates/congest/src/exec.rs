@@ -50,6 +50,17 @@
 //!    outputs, `RunStats`, and [`FrontierStats`] on every conforming
 //!    engine — and where the bandwidth cap was the round bottleneck,
 //!    the shortened backlog legitimately shortens the run.
+//! 8. **Observer neutrality.** Observability (the [`crate::obs`]
+//!    subsystem: phase spans, per-node [`NodeStats`] recording, trace
+//!    sinks, metrics reports) is read-only: with observers attached or
+//!    detached, per-node outputs, [`RunStats`], [`FrontierStats`], and
+//!    every other deterministic quantity (per-round series, per-node
+//!    histograms, span-tree statistics) are bit-identical — across
+//!    runs *and* across conforming engines. Only wall-clock fields
+//!    (`wall_ms`-like values, `*_ns` phase times) may differ between
+//!    runs; anything pinning observability output must scrub exactly
+//!    those. Observers must never deliver, reorder, combine, or drop a
+//!    message, and never change the active set.
 //!
 //! Any engine honoring 1–7 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the
@@ -79,6 +90,7 @@
 //!   the executor totals, because clause 5 covers every intermediate
 //!   `run` invocation of a composite algorithm, not just the last.
 
+use crate::obs::NodeStats;
 use crate::program::{FrontierStats, Program, RunStats};
 use lightgraph::{Graph, NodeId};
 
@@ -137,6 +149,34 @@ pub trait Executor {
     /// Adds a sub-executor's frontier counters to the cumulative
     /// [`Executor::frontier_total`] (invocations add, peaks max).
     fn charge_frontier(&mut self, frontier: FrontierStats);
+
+    /// Enables or disables per-node accounting ([`NodeStats`]):
+    /// per-node sent/delivered/invocation counters, accumulated across
+    /// runs like [`Executor::total`]. Off by default (the `3 × n`
+    /// counter vector is allocated lazily, on enable); enabling resets
+    /// the counters. Recording is inherited by [`Executor::sub`]
+    /// executors (which count in their own node-id space) and is
+    /// observer-neutral (contract clause 8). The default
+    /// implementation ignores the request — engines without per-node
+    /// accounting simply report `None` from [`Executor::node_stats`].
+    fn set_record_node_stats(&mut self, record: bool) {
+        let _ = record;
+    }
+
+    /// The per-node counters accumulated so far, when
+    /// [`Executor::set_record_node_stats`] is enabled.
+    fn node_stats(&self) -> Option<&NodeStats> {
+        None
+    }
+
+    /// Adds a sub-executor's per-node counters into this executor's
+    /// [`Executor::node_stats`] — the per-node analogue of
+    /// [`Executor::charge`], for sub-runs whose graph shares this
+    /// executor's node-id space (e.g. a subgraph over the same
+    /// vertices). A no-op while recording is off.
+    fn charge_node_stats(&mut self, other: &NodeStats) {
+        let _ = other;
+    }
 
     /// Runs one program instance per node until global quiescence; see
     /// the module docs for the determinism contract.

@@ -32,7 +32,12 @@
 //! * [`relax`] — the keyed-relaxation subsystem: canonical wire codec,
 //!   the lawful componentwise-min combiner, dense per-key distance
 //!   tables, and the ready-made [`relax::RelaxProgram`] every
-//!   Bellman–Ford-style program in the workspace is built on.
+//!   Bellman–Ford-style program in the workspace is built on,
+//! * [`obs`] — observability: phase spans ([`obs::span`]), per-node
+//!   message histograms ([`NodeStats`]), the shared [`RunReport`], and
+//!   the JSONL profiling [`TraceSink`] — all observer-neutral
+//!   (contract clause 8): attached or detached, deterministic outputs
+//!   and statistics are bit-identical.
 //!
 //! # Example: flooding a token
 //!
@@ -67,6 +72,7 @@
 
 pub mod collective;
 pub mod exec;
+pub mod obs;
 pub mod program;
 pub mod relax;
 pub mod tree;
@@ -78,5 +84,6 @@ mod sim;
 pub use comb::CombQueue;
 pub use exec::{for_each_active, Executor};
 pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
+pub use obs::{NodeStats, NodeSummary, RunReport, SharedTraceSink, SpanTree, TraceSink};
 pub use program::{Ctx, FrontierStats, Program, RunStats};
 pub use sim::Simulator;

@@ -4,9 +4,11 @@
 use crate::comb::CombQueue;
 use crate::exec::Executor;
 use crate::message::Message;
+use crate::obs::{NodeStats, PhaseWall, RoundTrace, RunReport, SharedTraceSink};
 use crate::program::{Ctx, FrontierStats, Program, RunStats};
 use lightgraph::{EdgeId, Graph, NodeId};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One queued message in the simulator: the sender, the (possibly
 /// merged) payload, and — in validation mode only — the logical
@@ -103,12 +105,17 @@ pub struct Simulator<'g> {
     cap: usize,
     max_rounds: u64,
     validate_activation: bool,
+    record_metrics: bool,
     total: RunStats,
     frontier: FrontierStats,
     edge_of: Vec<HashMap<NodeId, EdgeId>>,
     /// Receiver of each directed edge `2 * edge_id + dir` (`dir` 0 =
     /// `u → v`), the queue-index convention shared with `engine::Csr`.
     receivers: Vec<NodeId>,
+    last_report: Option<RunReport>,
+    node_stats: Option<NodeStats>,
+    trace: Option<SharedTraceSink>,
+    wall_total: PhaseWall,
 }
 
 impl<'g> std::fmt::Debug for Simulator<'g> {
@@ -139,10 +146,15 @@ impl<'g> Simulator<'g> {
             cap: 1,
             max_rounds: 50_000_000,
             validate_activation: false,
+            record_metrics: false,
             total: RunStats::default(),
             frontier: FrontierStats::default(),
             edge_of,
             receivers,
+            last_report: None,
+            node_stats: None,
+            trace: None,
+            wall_total: PhaseWall::default(),
         }
     }
 
@@ -196,6 +208,43 @@ impl<'g> Simulator<'g> {
     /// originals — meant for tests, not sweeps.
     pub fn set_validate_activation(&mut self, validate: bool) {
         self.validate_activation = validate;
+    }
+
+    /// Enables or disables congestion instrumentation (per-round
+    /// message/depth/active histograms, hot edges, per-phase wall
+    /// breakdown), the simulator-side mirror of the parallel engine's
+    /// recording. Off by default; observer-neutral (contract clause 8).
+    pub fn set_record_metrics(&mut self, record: bool) {
+        self.record_metrics = record;
+    }
+
+    /// Instrumentation from the most recent run, if
+    /// [`Simulator::set_record_metrics`] was enabled. The deterministic
+    /// fields are bit-identical to the parallel engine's report for the
+    /// same run.
+    pub fn last_report(&self) -> Option<&RunReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Cumulative per-phase wall time over every timed `run` driven
+    /// directly on this simulator (sub-executors accumulate their own).
+    /// Zero unless metrics recording or tracing was enabled.
+    pub fn wall_total(&self) -> PhaseWall {
+        self.wall_total
+    }
+
+    /// Enables or disables per-node accounting (see
+    /// [`Executor::set_record_node_stats`]). Enabling (re)allocates
+    /// zeroed counters.
+    pub fn set_record_node_stats(&mut self, record: bool) {
+        self.node_stats = record.then(|| NodeStats::new(self.graph.n()));
+    }
+
+    /// Attaches (or detaches, with `None`) a profiling trace sink; one
+    /// [`RoundTrace`] record is pushed per executed round. Inherited by
+    /// sub-executors; observer-neutral (contract clause 8).
+    pub fn set_trace(&mut self, sink: Option<SharedTraceSink>) {
+        self.trace = sink;
     }
 
     /// Cumulative statistics over every run so far.
@@ -274,6 +323,27 @@ impl<'g> Simulator<'g> {
         let mut charged_dirty = false;
         let mut carry: Vec<NodeId> = Vec::new();
 
+        // Observability (contract clause 8: everything below is
+        // read-only bookkeeping). Per-node counters are moved out of
+        // `self` for the duration so the closures below can borrow
+        // them alongside the graph.
+        let record = self.record_metrics;
+        let mut node_stats = self.node_stats.take();
+        let trace_run = self
+            .trace
+            .as_ref()
+            .map(|s| (s.clone(), s.lock().expect("trace sink").begin_run("sim")));
+        let timed = record || trace_run.is_some();
+        let mut per_directed: Vec<u64> = if record {
+            vec![0; 2 * self.graph.m()]
+        } else {
+            Vec::new()
+        };
+        let mut hist_msgs: Vec<u64> = Vec::new();
+        let mut hist_depth: Vec<u64> = Vec::new();
+        let mut hist_active: Vec<u64> = Vec::new();
+        let mut wall = PhaseWall::default();
+
         // init
         let validate = self.validate_activation;
         for (v, p) in programs.iter_mut().enumerate() {
@@ -282,6 +352,9 @@ impl<'g> Simulator<'g> {
             for (to, msg) in staged.drain(..) {
                 let qi = queue_index(&self.edge_of, v, to);
                 stats.messages += 1;
+                if let Some(ns) = node_stats.as_mut() {
+                    ns.sent[v] += 1;
+                }
                 if stage_message(&mut queues[qi], &*p, v, msg, validate) {
                     stats.messages_combined += 1;
                 } else if !charged[qi] {
@@ -318,17 +391,20 @@ impl<'g> Simulator<'g> {
             // directed id — exactly the dense delivery loop's per-inbox
             // order (clause 4). Leftover charged edges stay sorted, so
             // re-sort only after fresh sends were appended.
+            let t_deliver = timed.then(Instant::now);
             if charged_dirty {
                 charged_list.sort_unstable_by_key(|&qi| (receivers[qi], qi));
                 charged_dirty = false;
             }
             delivered.clear();
             still_charged.clear();
+            let mut round_delivered: u64 = 0;
             for &qi in &charged_list {
                 let target = receivers[qi];
                 if delivered.last().map(|&(v, ())| v) != Some(target) {
                     delivered.push((target, ()));
                 }
+                let mut popped: u64 = 0;
                 for _ in 0..self.cap {
                     match queues[qi].pop() {
                         Some((_, entry)) => {
@@ -336,9 +412,17 @@ impl<'g> Simulator<'g> {
                                 refold_check(&programs[entry.from], &entry);
                             }
                             inboxes[target].push((entry.from, entry.msg));
+                            popped += 1;
                         }
                         None => break,
                     }
+                }
+                round_delivered += popped;
+                if record && popped > 0 {
+                    per_directed[qi] += popped;
+                }
+                if let Some(ns) = node_stats.as_mut() {
+                    ns.delivered[target] += popped;
                 }
                 if queues[qi].is_empty() {
                     charged[qi] = false;
@@ -347,12 +431,15 @@ impl<'g> Simulator<'g> {
                 }
             }
             std::mem::swap(&mut charged_list, &mut still_charged);
+            let deliver_ns = t_deliver.map_or(0, |t| t.elapsed().as_nanos() as u64);
 
             // Active set = delivered-to nodes ∪ non-quiescent carryover
             // (clause 5, via the shared merge in `exec`).
+            let t_compute = timed.then(Instant::now);
             next_carry.clear();
             let mut active_count: u64 = 0;
             let round_now = stats.rounds;
+            let node_stats_ref = &mut node_stats;
             let mut run_node = |v: NodeId, active: bool| {
                 let p = &mut programs[v];
                 let mut ctx = Ctx::new(v, n, round_now, self.graph.neighbors(v), &mut staged);
@@ -373,9 +460,15 @@ impl<'g> Simulator<'g> {
                     return;
                 }
                 active_count += 1;
+                if let Some(ns) = node_stats_ref.as_mut() {
+                    ns.invocations[v] += 1;
+                }
                 for (to, msg) in staged.drain(..) {
                     let qi = queue_index(&self.edge_of, v, to);
                     stats.messages += 1;
+                    if let Some(ns) = node_stats_ref.as_mut() {
+                        ns.sent[v] += 1;
+                    }
                     if stage_message(&mut queues[qi], &*p, v, msg, validate) {
                         stats.messages_combined += 1;
                     } else if !charged[qi] {
@@ -412,11 +505,60 @@ impl<'g> Simulator<'g> {
             for &(v, ()) in &delivered {
                 inboxes[v].clear();
             }
+            let compute_ns = t_compute.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            if timed {
+                wall.deliver_ns += deliver_ns;
+                wall.compute_ns += compute_ns;
+            }
+            if record {
+                hist_msgs.push(round_delivered);
+                // At a round boundary every non-empty queue is in
+                // `charged_list` (the invariant above), so the max over
+                // it is the max over all 2m queues — the engine's
+                // "depth after this round's sends".
+                hist_depth.push(
+                    charged_list
+                        .iter()
+                        .map(|&qi| queues[qi].len() as u64)
+                        .max()
+                        .unwrap_or(0),
+                );
+                hist_active.push(active_count);
+            }
+            if let Some((sink, run_id)) = trace_run.as_ref() {
+                sink.lock().expect("trace sink").push_round(
+                    *run_id,
+                    RoundTrace {
+                        round: stats.rounds,
+                        delivered: round_delivered,
+                        active: active_count,
+                        deliver_ns,
+                        compute_ns,
+                        barrier_ns: 0,
+                    },
+                );
+            }
         }
 
         frontier.rounds = stats.rounds;
         self.total.absorb(stats);
         self.frontier.absorb(frontier);
+        self.node_stats = node_stats;
+        self.wall_total.absorb(wall);
+        if record {
+            self.last_report = Some(RunReport {
+                rounds: stats.rounds,
+                total_messages: stats.messages,
+                messages_delivered: stats.messages_delivered(),
+                messages_combined: stats.messages_combined,
+                messages_per_round: hist_msgs,
+                max_queue_depth_per_round: hist_depth,
+                active_per_round: hist_active,
+                hot_edges: RunReport::rank_hot_edges(&per_directed),
+                threads: 1,
+                wall,
+            });
+        }
         (programs.into_iter().map(Program::finish).collect(), stats)
     }
 }
@@ -429,6 +571,11 @@ impl<'g> Executor for Simulator<'g> {
         sub.cap = self.cap;
         sub.max_rounds = self.max_rounds;
         sub.validate_activation = self.validate_activation;
+        sub.record_metrics = self.record_metrics;
+        if self.node_stats.is_some() {
+            sub.set_record_node_stats(true);
+        }
+        sub.trace = self.trace.clone();
         sub
     }
 
@@ -466,6 +613,20 @@ impl<'g> Executor for Simulator<'g> {
 
     fn charge_frontier(&mut self, frontier: FrontierStats) {
         Simulator::charge_frontier(self, frontier)
+    }
+
+    fn set_record_node_stats(&mut self, record: bool) {
+        Simulator::set_record_node_stats(self, record)
+    }
+
+    fn node_stats(&self) -> Option<&NodeStats> {
+        self.node_stats.as_ref()
+    }
+
+    fn charge_node_stats(&mut self, other: &NodeStats) {
+        if let Some(ns) = self.node_stats.as_mut() {
+            ns.absorb(other);
+        }
     }
 
     fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)

@@ -13,6 +13,7 @@
 //! `n·ε^{-O(ddim)}·log n`.
 
 use crate::nets::net;
+use congest::obs;
 use congest::tree::BfsTree;
 use congest::{Executor, RunStats};
 use dist_mst::boruvka::distributed_mst;
@@ -67,7 +68,7 @@ pub fn doubling_spanner(
     // The MST weight bounds the largest useful scale; the distributed
     // MST also serves as the connectivity backbone of the spanner (the
     // lightness budget always affords it: it costs lightness 1).
-    let mst = distributed_mst(sim, tau, rt, seed);
+    let mst = obs::span(sim, "mst", |sim| distributed_mst(sim, tau, rt, seed));
     let l_total = mst.weight as f64;
     let w_min = g.min_weight().max(1) as f64;
 
@@ -83,11 +84,15 @@ pub fn doubling_spanner(
         // parameter ∆' = ε∆/3, giving ((3/2)·∆', ∆'·(2/3)) =
         // (ε∆/2, 2ε∆/9)-net.
         let net_param = ((epsilon * big_delta) / 3.0).ceil().max(1.0) as Weight;
-        let net_r = net(sim, tau, net_param, 0.5, seed ^ (scales as u64) << 7);
+        let net_r = obs::span(sim, "net", |sim| {
+            net(sim, tau, net_param, 0.5, seed ^ (scales as u64) << 7)
+        });
 
         // Connect net points within 2∆ by real shortest paths.
         let bound = (2.0 * big_delta).ceil() as Weight;
-        let ms = multi_source_bounded(sim, &net_r.points, bound, u64::MAX);
+        let ms = obs::span(sim, "connect", |sim| {
+            multi_source_bounded(sim, &net_r.points, bound, u64::MAX)
+        });
         let net_set: HashSet<NodeId> = net_r.points.iter().copied().collect();
         for &v in &net_r.points {
             // v sees every source u that reached it within 2∆

@@ -17,6 +17,7 @@
 //! The result is a `((1+δ)·∆, ∆/(1+δ))`-net, exactly as in Theorem 3.
 
 use congest::collective;
+use congest::obs;
 use congest::tree::BfsTree;
 use congest::{Executor, RunStats};
 use dist_sssp::bellman::multi_source_bounded;
@@ -72,14 +73,16 @@ pub fn net(
             "net construction exceeded {max_iters} iterations"
         );
         // (1)-(2) permutation + LE lists w.r.t. the auxiliary H.
-        let le = le_lists(
-            sim,
-            tau,
-            &active,
-            big_delta,
-            delta,
-            seed ^ (iterations as u64) << 13,
-        );
+        let le = obs::span(sim, "le_lists", |sim| {
+            le_lists(
+                sim,
+                tau,
+                &active,
+                big_delta,
+                delta,
+                seed ^ (iterations as u64) << 13,
+            )
+        });
         // (3) join test (local).
         let new_points: Vec<NodeId> = (0..n)
             .filter(|&v| active[v] && le.is_local_minimum(v, big_delta))
@@ -89,7 +92,9 @@ pub fn net(
             "some active vertex is always the global π-minimum of its ball"
         );
         // (4) deactivation by bounded multi-source exploration.
-        let ms = multi_source_bounded(sim, &new_points, deact_bound, u64::MAX);
+        let ms = obs::span(sim, "deactivate", |sim| {
+            multi_source_bounded(sim, &new_points, deact_bound, u64::MAX)
+        });
         for v in 0..n {
             if active[v] && ms.nearest(v).is_some() {
                 active[v] = false;
@@ -98,8 +103,9 @@ pub fn net(
         points.extend(&new_points);
         // (5) global termination census: any active vertex left?
         let active_ref = &active;
-        let (census, _) =
-            collective::converge_max(sim, tau, |v| vec![(0, [active_ref[v] as u64, 0])]);
+        let (census, _) = obs::span(sim, "census", |sim| {
+            collective::converge_max(sim, tau, |v| vec![(0, [active_ref[v] as u64, 0])])
+        });
         if census[&0][0] == 0 {
             break;
         }

@@ -20,6 +20,7 @@
 
 use crate::tour_sweep::{tour_sweep, Direction, TourRouting};
 use congest::collective;
+use congest::obs;
 use congest::tree::{build_bfs_tree, BfsTree};
 use congest::{Ctx, Executor, Message, Program, RunStats, Simulator};
 use dist_mst::boruvka::distributed_mst;
@@ -143,10 +144,14 @@ pub fn shallow_light_tree_with(
     }
 
     // (1) MST, Euler tour, approximate SPT.
-    let mst = distributed_mst(sim, tau, rt, seed);
-    let tour = distributed_euler_tour(sim, tau, &mst, rt);
+    let mst = obs::span(sim, "mst", |sim| distributed_mst(sim, tau, rt, seed));
+    let tour = obs::span(sim, "tour", |sim| {
+        distributed_euler_tour(sim, tau, &mst, rt)
+    });
     let routing = TourRouting::new(&tour);
-    let spt = approx_spt(sim, tau, rt, &spt_cfg(seed ^ 0x51f7));
+    let spt = obs::span(sim, "spt", |sim| {
+        approx_spt(sim, tau, rt, &spt_cfg(seed ^ 0x51f7))
+    });
 
     let (seq, times) = tour.assemble();
     let times = Arc::new(times);
@@ -156,26 +161,28 @@ pub fn shallow_light_tree_with(
     let dist = Arc::new(spt.dist.clone());
     let seq_rc = Arc::new(seq.clone());
     let eps = epsilon;
-    let (sweep_out, _) = tour_sweep(
-        sim,
-        &routing,
-        Direction::LeftToRight,
-        |p| p % alpha == 0,
-        |p| [times[p], 0],
-        |v| {
-            let times = Arc::clone(&times);
-            let dist = Arc::clone(&dist);
-            let seq = Arc::clone(&seq_rc);
-            move |pos: usize, tok: [u64; 2]| {
-                debug_assert_eq!(seq[pos], v);
-                if joins(times[pos], tok[0], dist[v], eps) {
-                    [times[pos], 0]
-                } else {
-                    tok
+    let (sweep_out, _) = obs::span(sim, "bp1", |sim| {
+        tour_sweep(
+            sim,
+            &routing,
+            Direction::LeftToRight,
+            |p| p % alpha == 0,
+            |p| [times[p], 0],
+            |v| {
+                let times = Arc::clone(&times);
+                let dist = Arc::clone(&dist);
+                let seq = Arc::clone(&seq_rc);
+                move |pos: usize, tok: [u64; 2]| {
+                    debug_assert_eq!(seq[pos], v);
+                    if joins(times[pos], tok[0], dist[v], eps) {
+                        [times[pos], 0]
+                    } else {
+                        tok
+                    }
                 }
-            }
-        },
-    );
+            },
+        )
+    });
     // derive BP₁ membership locally (same rule the sweep applied)
     let mut is_bp = vec![false; n];
     for (v, recs) in sweep_out.iter().enumerate() {
@@ -189,29 +196,32 @@ pub fn shallow_light_tree_with(
     // (2b) BP₂: heads upcast (position, R, d_rt); rt filters with the
     // same sequential rule and broadcasts the selected head positions.
     let dist_ref = &spt.dist;
-    let (heads, _) = collective::gather(sim, tau, |v| {
-        routing.positions[v]
-            .iter()
-            .filter(|&&p| p % alpha == 0)
-            .map(|&p| (p as u64, [times[p], dist_ref[v]]))
-            .collect()
+    let bp2 = obs::span(sim, "bp2", |sim| {
+        let (heads, _) = collective::gather(sim, tau, |v| {
+            routing.positions[v]
+                .iter()
+                .filter(|&&p| p % alpha == 0)
+                .map(|&p| (p as u64, [times[p], dist_ref[v]]))
+                .collect()
+        });
+        let mut bp2: Vec<u64> = Vec::new();
+        let mut last_r: Weight = 0; // x_0 = rt joins BP₂ first
+        for (&pos, &[r, d]) in &heads {
+            if pos == 0 {
+                bp2.push(0);
+                last_r = r;
+                continue;
+            }
+            if joins(r, last_r, d, eps) {
+                bp2.push(pos);
+                last_r = r;
+            }
+        }
+        let bcast: Vec<collective::Item> = bp2.iter().map(|&p| (p, [1, 0])).collect();
+        let (recv, _) = collective::broadcast(sim, tau, bcast);
+        debug_assert!(recv.iter().all(|r| r.len() == bp2.len()));
+        bp2
     });
-    let mut bp2: Vec<u64> = Vec::new();
-    let mut last_r: Weight = 0; // x_0 = rt joins BP₂ first
-    for (&pos, &[r, d]) in &heads {
-        if pos == 0 {
-            bp2.push(0);
-            last_r = r;
-            continue;
-        }
-        if joins(r, last_r, d, eps) {
-            bp2.push(pos);
-            last_r = r;
-        }
-    }
-    let bcast: Vec<collective::Item> = bp2.iter().map(|&p| (p, [1, 0])).collect();
-    let (recv, _) = collective::broadcast(sim, tau, bcast);
-    debug_assert!(recv.iter().all(|r| r.len() == bp2.len()));
     for &p in &bp2 {
         is_bp[seq[p as usize]] = true;
     }
@@ -221,9 +231,11 @@ pub fn shallow_light_tree_with(
     // (3) H = T ∪ paths: mark A_BP up the SPT and add parent edges.
     let is_bp_ref = &is_bp;
     let spt_parent = &spt.parent;
-    let (marked, _) = sim.run(|v, _| MarkUp {
-        parent: spt_parent[v],
-        marked: is_bp_ref[v],
+    let (marked, _) = obs::span(sim, "mark", |sim| {
+        sim.run(|v, _| MarkUp {
+            parent: spt_parent[v],
+            marked: is_bp_ref[v],
+        })
     });
     let mut h_edges: Vec<EdgeId> = mst.mst_edges.clone();
     for v in 0..n {
@@ -240,15 +252,23 @@ pub fn shallow_light_tree_with(
         }
     }
 
-    // (4) final approximate SPT inside H.
+    // (4) final approximate SPT inside H. The span measures the
+    // sub-executor, so nested `approx_spt` spans attribute the H-run;
+    // `H` spans the same vertex set as `G`, so the per-node counters
+    // charge straight back alongside the stats.
     let (h_graph, id_map) = g.edge_subgraph_with_map(h_edges);
     let mut h_sim = sim.sub(&h_graph);
-    let (h_tau, _) = build_bfs_tree(&mut h_sim, rt);
-    let final_spt = approx_spt(&mut h_sim, &h_tau, rt, &spt_cfg(seed ^ 0x7e57));
+    let final_spt = obs::span(&mut h_sim, "final_spt", |h_sim| {
+        let (h_tau, _) = build_bfs_tree(h_sim, rt);
+        approx_spt(h_sim, &h_tau, rt, &spt_cfg(seed ^ 0x7e57))
+    });
     let h_total = h_sim.total();
     let h_frontier = h_sim.frontier_total();
     sim.charge(h_total);
     sim.charge_frontier(h_frontier);
+    if let Some(ns) = h_sim.node_stats() {
+        sim.charge_node_stats(ns);
+    }
     let mut edges: Vec<EdgeId> = final_spt
         .tree_edges(&h_graph)
         .into_iter()

@@ -32,6 +32,7 @@
 use crate::boruvka::MstResult;
 use crate::passes::{self, FragView, Val};
 use congest::collective;
+use congest::obs;
 use congest::tree::BfsTree;
 use congest::{pack2, unpack2, Executor, RunStats};
 use lightgraph::{EdgeId, Graph, NodeId, Weight};
@@ -362,12 +363,16 @@ pub fn distributed_euler_tour(
     }
 
     // (1) broadcast T′.
-    let ft = broadcast_fragment_tree(sim, g, tau, mst, rt);
+    let ft = obs::span(sim, "frag_tree", |sim| {
+        broadcast_fragment_tree(sim, g, tau, mst, rt)
+    });
     let frag = &mst.base_fragment_of;
 
     // (2) re-root base fragments at r_i.
     let root_of = ft.root_of.clone();
-    let (views, _) = passes::reroot(sim, &mst.base_views, |v| root_of[&frag[v]] == v);
+    let (views, _) = obs::span(sim, "reroot", |sim| {
+        passes::reroot(sim, &mst.base_views, |v| root_of[&frag[v]] == v)
+    });
 
     // (3–8) weighted pass for times, unit pass for indices.
     let weight_of = |a: NodeId, b: NodeId| -> Weight {
@@ -377,9 +382,13 @@ pub fn distributed_euler_tour(
             .map(|&(_, w, _)| w)
             .expect("tree edge exists")
     };
-    let times = tour_times(sim, tau, &views, &ft, frag, &weight_of);
+    let times = obs::span(sim, "times", |sim| {
+        tour_times(sim, tau, &views, &ft, frag, &weight_of)
+    });
     let unit = |_: NodeId, _: NodeId| 1 as Weight;
-    let indices = tour_times(sim, tau, &views, &ft, frag, &unit);
+    let indices = obs::span(sim, "indices", |sim| {
+        tour_times(sim, tau, &views, &ft, frag, &unit)
+    });
 
     let mut appearances: Vec<Vec<(usize, Weight)>> = vec![Vec::new(); n];
     let mut total_length = 0;

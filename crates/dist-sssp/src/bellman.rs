@@ -25,6 +25,7 @@
 //! truncated is *provably* identical to an unbounded Bellman–Ford —
 //! the certificate behind [`crate::landmark`]'s adaptive cutoff.
 
+use congest::obs;
 use congest::relax::{max_finite, RelaxProgram, RelaxTable};
 use congest::{Executor, RunStats};
 use lightgraph::{NodeId, Weight, INF};
@@ -86,14 +87,16 @@ pub fn bounded_bellman_ford(
     bound: Weight,
     hop_bound: u64,
 ) -> SsspResult {
-    let (tables, stats) = sim.run(|v, _| {
-        RelaxProgram::new(
-            TAG_RELAX,
-            1,
-            bound,
-            hop_bound,
-            if v == src { vec![0] } else { Vec::new() },
-        )
+    let (tables, stats) = obs::span(sim, "relax", |sim| {
+        sim.run(|v, _| {
+            RelaxProgram::new(
+                TAG_RELAX,
+                1,
+                bound,
+                hop_bound,
+                if v == src { vec![0] } else { Vec::new() },
+            )
+        })
     });
     let truncated = tables.iter().any(|t| t.truncated);
     let (dist, parent) = tables
@@ -200,13 +203,15 @@ pub fn multi_source_bounded(
     sorted.dedup();
     let keys = sorted.len();
     let sorted_ref = &sorted;
-    let (tables, stats) = sim.run(|v, _| {
-        let seeds = sorted_ref
-            .binary_search(&v)
-            .ok()
-            .map(|k| vec![k as u32])
-            .unwrap_or_default();
-        RelaxProgram::new(TAG_MRELAX, keys, bound, hop_bound, seeds)
+    let (tables, stats) = obs::span(sim, "relax", |sim| {
+        sim.run(|v, _| {
+            let seeds = sorted_ref
+                .binary_search(&v)
+                .ok()
+                .map(|k| vec![k as u32])
+                .unwrap_or_default();
+            RelaxProgram::new(TAG_MRELAX, keys, bound, hop_bound, seeds)
+        })
     });
     let truncated = tables.iter().any(|t| t.truncated);
     MultiSourceResult {

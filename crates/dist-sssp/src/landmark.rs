@@ -49,6 +49,7 @@
 
 use crate::bellman::multi_source_bounded;
 use congest::collective;
+use congest::obs;
 use congest::tree::BfsTree;
 use congest::{pack2, unpack2, Executor, RunStats};
 use lightgraph::{NodeId, Weight, INF};
@@ -171,7 +172,9 @@ pub fn approx_spt(
     let hop_bound = cfg.hop_bound.unwrap_or(2 * sqrt_n as u64).max(2);
 
     // (1) landmark-sampling seed broadcast (1 item, O(D) rounds).
-    let (seed_recv, _) = collective::broadcast(sim, tau, vec![(0, [cfg.seed, 0])]);
+    let (seed_recv, _) = obs::span(sim, "seed", |sim| {
+        collective::broadcast(sim, tau, vec![(0, [cfg.seed, 0])])
+    });
     debug_assert!(seed_recv.iter().all(|r| r.len() == 1));
 
     let mut dist = vec![INF; n];
@@ -183,13 +186,16 @@ pub fn approx_spt(
         // charged census of the truncation certificate (convergecast
         // up, verdict broadcast down — O(D) rounds, one item each way
         // per vertex).
-        let probe = multi_source_bounded(sim, &[rt], INF, hop_bound);
-        let flags: Vec<u64> = probe.tables.iter().map(|t| t.truncated as u64).collect();
-        let flags_ref = &flags;
-        let (census, _) = collective::converge_max(sim, tau, |v| vec![(0, [flags_ref[v], 0])]);
-        let truncated = census[&0][0] != 0;
-        let (verdict, _) = collective::broadcast(sim, tau, vec![(0, [truncated as u64, 0])]);
-        debug_assert!(verdict.iter().all(|r| r.len() == 1));
+        let (probe, truncated) = obs::span(sim, "probe", |sim| {
+            let probe = multi_source_bounded(sim, &[rt], INF, hop_bound);
+            let flags: Vec<u64> = probe.tables.iter().map(|t| t.truncated as u64).collect();
+            let flags_ref = &flags;
+            let (census, _) = collective::converge_max(sim, tau, |v| vec![(0, [flags_ref[v], 0])]);
+            let truncated = census[&0][0] != 0;
+            let (verdict, _) = collective::broadcast(sim, tau, vec![(0, [truncated as u64, 0])]);
+            debug_assert!(verdict.iter().all(|r| r.len() == 1));
+            (probe, truncated)
+        });
         if !truncated {
             // Certificate holds: the bounded run equals unbounded
             // Bellman–Ford, so the probe is an exact SPT already.
@@ -232,19 +238,21 @@ pub fn approx_spt(
             .collect();
         let idx_ref = &idx;
         let ms_ref = &ms;
-        let (pairs, _) = collective::gather_merged(sim, tau, |v| {
-            if let Some(&vi) = idx_ref.get(&v) {
-                ms_ref.tables[v]
-                    .iter_reached()
-                    .filter(|&(si, _, _)| si != vi)
-                    .map(|(si, d, _)| {
-                        let (a, b) = if si < vi { (si, vi) } else { (vi, si) };
-                        (pack2(a as u64, b as u64), [d, 0])
-                    })
-                    .collect()
-            } else {
-                Vec::new()
-            }
+        let (pairs, _) = obs::span(sim, "gather", |sim| {
+            collective::gather_merged(sim, tau, |v| {
+                if let Some(&vi) = idx_ref.get(&v) {
+                    ms_ref.tables[v]
+                        .iter_reached()
+                        .filter(|&(si, _, _)| si != vi)
+                        .map(|(si, d, _)| {
+                            let (a, b) = if si < vi { (si, vi) } else { (vi, si) };
+                            (pack2(a as u64, b as u64), [d, 0])
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                }
+            })
         });
         // local Dijkstra over the landmark graph at rt (free)
         let s_count = ms.sources.len();
@@ -286,7 +294,7 @@ pub fn approx_spt(
                 )
             })
             .collect();
-        let (recv, _) = collective::broadcast(sim, tau, bcast);
+        let (recv, _) = obs::span(sim, "bcast", |sim| collective::broadcast(sim, tau, bcast));
         debug_assert!(recv.iter().all(|r| !r.is_empty()));
 
         // (4) local combination: every vertex picks its best estimate

@@ -12,13 +12,19 @@
 //! bench --quick                 # the CI-gate subset (100k BFS + 1k/2k/8k SLT)
 //! bench --check BASELINE.json   # re-run and diff the deterministic
 //!                               #   columns against a committed baseline;
-//!                               #   exit 1 on any drift (no file written)
+//!                               #   exit 1 on any drift (no file written),
+//!                               #   after a per-column delta table
+//! bench --profile trace.jsonl   # per-round profiling records to the
+//!                               #   JSONL sink + a span tree per
+//!                               #   workload on stderr
 //! ```
 //!
 //! `--check` is the CI **bench-regression gate**: the deterministic
 //! columns (`rounds`, `messages`, `messages_combined`,
-//! `messages_delivered`, `invocations`, `active_peak`, `metric`, and
-//! the instance shape `m`) are contract-pinned and engine-identical,
+//! `messages_delivered`, `invocations`, `active_peak`, `metric`, the
+//! per-node load summary (`msg_max_node`, `msg_max`, `msg_p50`,
+//! `msg_p99`) and the instance shape `m`) are contract-pinned and
+//! engine-identical,
 //! so any diff against `BENCH_engine.json` is a real behavior change —
 //! a silent message-volume or invocation regression fails the PR.
 //! Wall-clock columns (`wall_ms`, `rounds_per_sec`, `msgs_per_sec`)
@@ -44,7 +50,8 @@
 //! against `invocations_dense` (`rounds * n`, what a dense every-node
 //! scheduler would have executed).
 
-use congest::Executor;
+use congest::obs;
+use congest::{Executor, TraceSink};
 use engine::scenario::{build_graph, drive, AlgoParams};
 use engine::Engine;
 use std::io::Write;
@@ -91,6 +98,10 @@ struct Entry {
     active_peak: u64,
     active_mean: f64,
     metric: u64,
+    msg_max_node: u64,
+    msg_max: u64,
+    msg_p50: u64,
+    msg_p99: u64,
     wall: f64,
 }
 
@@ -102,7 +113,9 @@ impl Entry {
              \"messages_combined\":{combined},\"messages_delivered\":{delivered},\
              \"wall_ms\":{wall_ms:.1},\"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
              \"invocations\":{inv},\"invocations_dense\":{dense},\
-             \"active_peak\":{peak},\"active_mean\":{mean:.3},\"metric\":{metric}}}",
+             \"active_peak\":{peak},\"active_mean\":{mean:.3},\
+             \"msg_max_node\":{mmn},\"msg_max\":{mm},\"msg_p50\":{p50},\"msg_p99\":{p99},\
+             \"metric\":{metric}}}",
             family = self.family,
             algorithm = self.algorithm,
             n = self.n,
@@ -118,6 +131,10 @@ impl Entry {
             dense = self.invocations_dense,
             peak = self.active_peak,
             mean = self.active_mean,
+            mmn = self.msg_max_node,
+            mm = self.msg_max,
+            p50 = self.msg_p50,
+            p99 = self.msg_p99,
             metric = self.metric,
         )
     }
@@ -134,23 +151,33 @@ fn json_u64(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// One column drift against the baseline (`want` absent when the
+/// baseline predates the column).
+struct Drift {
+    workload: String,
+    column: &'static str,
+    want: Option<u64>,
+    got: u64,
+}
+
 /// Diffs the deterministic columns of `entries` against the committed
-/// baseline; returns the list of human-readable mismatches.
-fn check_against_baseline(entries: &[Entry], baseline: &str) -> Vec<String> {
-    let mut errors = Vec::new();
+/// baseline; returns missing-workload errors plus per-column drifts.
+fn check_against_baseline(entries: &[Entry], baseline: &str) -> (Vec<String>, Vec<Drift>) {
+    let mut missing = Vec::new();
+    let mut drifts = Vec::new();
     for e in entries {
+        let workload = format!("{} {} n={}", e.family, e.algorithm, e.n);
         let tag = format!(
             "\"family\":\"{}\",\"algorithm\":\"{}\",\"n\":{},",
             e.family, e.algorithm, e.n
         );
         let Some(line) = baseline.lines().find(|l| l.contains(&tag)) else {
-            errors.push(format!(
-                "{} {} n={}: no baseline entry — regenerate BENCH_engine.json",
-                e.family, e.algorithm, e.n
+            missing.push(format!(
+                "{workload}: no baseline entry — regenerate BENCH_engine.json"
             ));
             continue;
         };
-        let columns: [(&str, u64); 8] = [
+        let columns: [(&str, u64); 12] = [
             ("m", e.m as u64),
             ("rounds", e.rounds),
             ("messages", e.messages),
@@ -158,29 +185,75 @@ fn check_against_baseline(entries: &[Entry], baseline: &str) -> Vec<String> {
             ("messages_delivered", e.messages_delivered),
             ("invocations", e.invocations),
             ("active_peak", e.active_peak),
+            ("msg_max_node", e.msg_max_node),
+            ("msg_max", e.msg_max),
+            ("msg_p50", e.msg_p50),
+            ("msg_p99", e.msg_p99),
             ("metric", e.metric),
         ];
         for (key, got) in columns {
             match json_u64(line, key) {
                 Some(want) if want == got => {}
-                Some(want) => errors.push(format!(
-                    "{} {} n={}: {key} = {got}, baseline has {want}",
-                    e.family, e.algorithm, e.n
-                )),
-                None => errors.push(format!(
-                    "{} {} n={}: baseline lacks column `{key}` — regenerate BENCH_engine.json",
-                    e.family, e.algorithm, e.n
-                )),
+                want => drifts.push(Drift {
+                    workload: workload.clone(),
+                    column: key,
+                    want,
+                    got,
+                }),
             }
         }
     }
-    errors
+    (missing, drifts)
+}
+
+/// Renders the drift list as an aligned old→new delta table.
+fn drift_table(drifts: &[Drift]) -> String {
+    let mut rows: Vec<[String; 5]> = vec![[
+        "workload".to_owned(),
+        "column".to_owned(),
+        "baseline".to_owned(),
+        "current".to_owned(),
+        "delta".to_owned(),
+    ]];
+    for d in drifts {
+        let (want, delta) = match d.want {
+            Some(w) => (w.to_string(), format!("{:+}", d.got as i128 - w as i128)),
+            None => ("(absent)".to_owned(), "-".to_owned()),
+        };
+        rows.push([
+            d.workload.clone(),
+            d.column.to_owned(),
+            want,
+            d.got.to_string(),
+            delta,
+        ]);
+    }
+    let mut width = [0usize; 5];
+    for row in &rows {
+        for (w, cell) in width.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    rows.iter()
+        .map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .zip(width)
+                .map(|(cell, w)| format!("{cell:<w$}"))
+                .collect();
+            format!("bench:   {}", cells.join("  ").trim_end())
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: bench [--out PATH] [--threads N] [--quick] [--check BASELINE]");
+        eprintln!(
+            "usage: bench [--out PATH] [--threads N] [--quick] [--check BASELINE] \
+             [--profile TRACE.jsonl]"
+        );
         return;
     }
     let flag_value = |name: &str| -> Option<String> {
@@ -194,6 +267,11 @@ fn main() {
         .unwrap_or(1);
     let quick = args.iter().any(|a| a == "--quick");
     let check_path = flag_value("--check");
+    let trace = flag_value("--profile").map(|p| {
+        let f = std::fs::File::create(&p)
+            .unwrap_or_else(|e| panic!("cannot create trace file {p}: {e}"));
+        TraceSink::shared(Box::new(f))
+    });
 
     let workloads: Vec<(&str, &str, usize)> = if quick {
         QUICK.to_vec()
@@ -208,11 +286,25 @@ fn main() {
         eprintln!("bench: {family} {algorithm} n={n} ...");
         let g = build_graph(family, n, 100, SEED).expect("pinned family");
         let mut eng = Engine::with_threads(&g, threads);
+        eng.set_record_node_stats(true);
+        eng.set_trace(trace.clone());
         let start = Instant::now();
-        let (stats, _, metric) =
-            drive(&mut eng, algorithm, &params, SEED).expect("pinned algorithm");
+        let (stats, _, metric) = match &trace {
+            Some(sink) => {
+                let (res, tree) = obs::collect_spans(|| drive(&mut eng, algorithm, &params, SEED));
+                let scope = format!("{family}/{algorithm}/n{n}");
+                sink.lock().expect("trace sink").push_spans(&scope, &tree);
+                eprint!("{}", tree.render());
+                res
+            }
+            None => drive(&mut eng, algorithm, &params, SEED),
+        }
+        .expect("pinned algorithm");
         let wall = start.elapsed().as_secs_f64();
         let frontier = Executor::frontier_total(&eng);
+        let summary = Executor::node_stats(&eng)
+            .expect("node stats recorded")
+            .summary();
         // Executed rounds (FrontierStats::rounds), not total accounted
         // rounds: analytical charge()s must not inflate the dense
         // baseline (identical for the pinned set, which charges none).
@@ -242,6 +334,10 @@ fn main() {
             active_peak: frontier.peak_active,
             active_mean: frontier.mean_active(),
             metric,
+            msg_max_node: summary.msg_max_node as u64,
+            msg_max: summary.msg_max,
+            msg_p50: summary.msg_p50,
+            msg_p99: summary.msg_p99,
             wall,
         });
     }
@@ -249,8 +345,8 @@ fn main() {
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let errors = check_against_baseline(&entries, &baseline);
-        if errors.is_empty() {
+        let (missing, drifts) = check_against_baseline(&entries, &baseline);
+        if missing.is_empty() && drifts.is_empty() {
             eprintln!(
                 "bench: OK — {} workloads match the deterministic columns of {path}",
                 entries.len()
@@ -258,8 +354,11 @@ fn main() {
             return;
         }
         eprintln!("bench: REGRESSION — deterministic columns drifted from {path}:");
-        for e in &errors {
+        for e in &missing {
             eprintln!("bench:   {e}");
+        }
+        if !drifts.is_empty() {
+            eprintln!("{}", drift_table(&drifts));
         }
         eprintln!("bench: if this change is intentional, regenerate the baseline with");
         eprintln!("bench:   cargo run --release -p engine --bin bench");
@@ -267,7 +366,7 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"schema\": 2,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
+        "{{\n  \"schema\": 3,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
          invocations_dense = rounds * n is the pre-frontier-scheduling cost; \
          messages_delivered = messages - messages_combined is the post-combining volume\",\n  \
          \"workloads\": [\n{}\n  ]\n}}\n",

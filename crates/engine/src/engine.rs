@@ -58,14 +58,17 @@
 
 use crate::csr::{Csr, DirectedId};
 use crate::report::EngineReport;
+use congest::obs::{PhaseWall, RoundTrace};
 use congest::{
-    CombQueue, Ctx, Executor, FrontierStats, Message, Program, RunStats, Word, WORDS_PER_MESSAGE,
+    CombQueue, Ctx, Executor, FrontierStats, Message, NodeStats, Program, RunStats,
+    SharedTraceSink, Word, WORDS_PER_MESSAGE,
 };
 use lightgraph::{Graph, NodeId};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// A message stored inline in an edge queue (no per-message heap
 /// allocation while queued; the `Message` is materialized at delivery).
@@ -188,6 +191,9 @@ pub struct Engine<'g> {
     total: RunStats,
     frontier: FrontierStats,
     last_report: Option<EngineReport>,
+    node_stats: Option<NodeStats>,
+    trace: Option<SharedTraceSink>,
+    wall_total: PhaseWall,
 }
 
 impl<'g> std::fmt::Debug for Engine<'g> {
@@ -238,6 +244,9 @@ impl<'g> Engine<'g> {
             total: RunStats::default(),
             frontier: FrontierStats::default(),
             last_report: None,
+            node_stats: None,
+            trace: None,
+            wall_total: PhaseWall::default(),
         }
     }
 
@@ -257,6 +266,29 @@ impl<'g> Engine<'g> {
     /// [`Engine::set_record_metrics`] was enabled.
     pub fn last_report(&self) -> Option<&EngineReport> {
         self.last_report.as_ref()
+    }
+
+    /// Cumulative per-phase wall time (sampled by worker 0) over every
+    /// timed `run` driven directly on this engine (sub-executors
+    /// accumulate their own). Zero unless metrics recording or tracing
+    /// was enabled.
+    pub fn wall_total(&self) -> PhaseWall {
+        self.wall_total
+    }
+
+    /// Enables or disables per-node accounting (see
+    /// [`Executor::set_record_node_stats`]). Enabling (re)allocates
+    /// zeroed counters.
+    pub fn set_record_node_stats(&mut self, record: bool) {
+        self.node_stats = record.then(|| NodeStats::new(self.graph.n()));
+    }
+
+    /// Attaches (or detaches, with `None`) a profiling trace sink; one
+    /// [`RoundTrace`] record is pushed per executed round (by worker 0,
+    /// at the following round's decision point). Inherited by
+    /// sub-executors; observer-neutral (contract clause 8).
+    pub fn set_trace(&mut self, sink: Option<SharedTraceSink>) {
+        self.trace = sink;
     }
 
     /// The underlying graph (with the graph's own lifetime).
@@ -285,6 +317,19 @@ impl<'g> Engine<'g> {
         let cap = self.cap;
         let max_rounds = self.max_rounds;
         let record = self.record_metrics;
+        // Per-node counters move out of `self` for the run so the three
+        // counter vectors can be shared (disjointly) across workers:
+        // `sent`/`invocations` are indexed by owned nodes, `delivered`
+        // by owned receivers — the same sharding as programs/queues.
+        let track_nodes = self.node_stats.is_some();
+        let mut node_stats = self.node_stats.take().unwrap_or_default();
+        let trace_run = self.trace.as_ref().map(|s| {
+            (
+                s.clone(),
+                s.lock().expect("trace sink").begin_run("parallel"),
+            )
+        });
+        let timed = record || trace_run.is_some();
         let threads = self.threads.clamp(1, n.max(1));
         let shards = shard_bounds(graph, threads);
         // Worker shard owning each node, for routing touched edges to
@@ -335,6 +380,7 @@ impl<'g> Engine<'g> {
         let livelocked;
         let histograms;
         let delivered_total;
+        let run_wall;
 
         {
             let programs_sh = SharedSlice::new(&mut programs);
@@ -343,6 +389,9 @@ impl<'g> Engine<'g> {
             let touched_sh = SharedSlice::new(&mut touched);
             let per_directed_sh = SharedSlice::new(&mut per_directed);
             let in_backlog_sh = SharedSlice::new(&mut in_backlog);
+            let ns_sent_sh = SharedSlice::new(&mut node_stats.sent);
+            let ns_delivered_sh = SharedSlice::new(&mut node_stats.delivered);
+            let ns_invocations_sh = SharedSlice::new(&mut node_stats.invocations);
             let pending = AtomicI64::new(0);
             // Count of non-quiescent programs; replaces the old
             // every-node `is_quiescent` sweep. Updated incrementally by
@@ -360,10 +409,19 @@ impl<'g> Engine<'g> {
             let barrier = Barrier::new(threads);
 
             // One worker body, run by `threads` threads in lockstep;
-            // returns (rounds, frontier, histograms) — meaningful for
-            // worker 0 only (message totals live in the shared atomics).
-            let worker = |wid: usize| -> (u64, FrontierStats, Option<Histograms>) {
+            // returns (rounds, frontier, histograms, wall) — meaningful
+            // for worker 0 only (message totals live in the shared
+            // atomics).
+            let worker = |wid: usize| -> (u64, FrontierStats, Option<Histograms>, PhaseWall) {
                 let (lo, hi) = shards[wid];
+                // Phase wall-clock is sampled by worker 0 only: its
+                // deliver/compute guards plus its barrier waits (which
+                // absorb the other workers' imbalance).
+                let timing = timed && wid == 0;
+                let mut wall = PhaseWall::default();
+                let mut r_deliver_ns: u64 = 0;
+                let mut r_compute_ns: u64 = 0;
+                let mut r_barrier_ns: u64 = 0;
                 let mut staged: Vec<(NodeId, Message)> = Vec::new();
                 let mut arena: Vec<(NodeId, Message)> = Vec::new();
                 // Own nodes that received messages this round, with
@@ -452,6 +510,9 @@ impl<'g> Engine<'g> {
                         p.init(&mut ctx);
                         for (to, msg) in staged.drain(..) {
                             sent += 1;
+                            if track_nodes {
+                                *unsafe { ns_sent_sh.get_mut(v) } += 1;
+                            }
                             if stage_one(p, v, to, &msg, &mut out_backlog) {
                                 combined += 1;
                             } else {
@@ -467,7 +528,11 @@ impl<'g> Engine<'g> {
                     combined_cum.fetch_add(combined, Ordering::SeqCst);
                     nonquiescent.fetch_add(carry_nodes.len() as i64, Ordering::SeqCst);
                 });
+                let t_barrier = timing.then(Instant::now);
                 barrier.wait(); // init burst + carryover seeds visible
+                if let Some(t) = t_barrier {
+                    r_barrier_ns += t.elapsed().as_nanos() as u64;
+                }
 
                 loop {
                     // ---- decide (identically on every worker): every
@@ -485,7 +550,7 @@ impl<'g> Engine<'g> {
                         Decision::Continue
                     };
                     // Worker 0 accounts the *previous* round's
-                    // deliveries and activations.
+                    // deliveries, activations, and phase wall time.
                     if wid == 0 {
                         let cum = delivered_cum.load(Ordering::SeqCst);
                         let this_round = cum - delivered_seen;
@@ -499,8 +564,33 @@ impl<'g> Engine<'g> {
                             hist_depth.push(round_max_depth.load(Ordering::SeqCst));
                             hist_active.push(round_active);
                         }
+                        if round > 0 {
+                            if let Some((sink, run_id)) = trace_run.as_ref() {
+                                sink.lock().expect("trace sink").push_round(
+                                    *run_id,
+                                    RoundTrace {
+                                        round,
+                                        delivered: this_round,
+                                        active: round_active,
+                                        deliver_ns: r_deliver_ns,
+                                        compute_ns: r_compute_ns,
+                                        barrier_ns: r_barrier_ns,
+                                    },
+                                );
+                            }
+                            wall.deliver_ns += r_deliver_ns;
+                            wall.compute_ns += r_compute_ns;
+                            wall.barrier_ns += r_barrier_ns;
+                            r_deliver_ns = 0;
+                            r_compute_ns = 0;
+                            r_barrier_ns = 0;
+                        }
                     }
+                    let t_barrier = timing.then(Instant::now);
                     barrier.wait(); // #1: decision epoch closed
+                    if let Some(t) = t_barrier {
+                        r_barrier_ns += t.elapsed().as_nanos() as u64;
+                    }
 
                     match decision {
                         Decision::Continue => {}
@@ -518,6 +608,7 @@ impl<'g> Engine<'g> {
                                     hist_depth,
                                     hist_active,
                                 )),
+                                wall,
                             );
                         }
                     }
@@ -530,6 +621,7 @@ impl<'g> Engine<'g> {
                     }
 
                     // ---- deliver: pop own nodes' charged queues only.
+                    let t_deliver = timing.then(Instant::now);
                     guard(&mut || {
                         arena.clear();
                         inbox_ranges.clear();
@@ -573,6 +665,9 @@ impl<'g> Engine<'g> {
                             if record && popped > 0 {
                                 *unsafe { per_directed_sh.get_mut(d) } += popped;
                             }
+                            if track_nodes && popped > 0 {
+                                *unsafe { ns_delivered_sh.get_mut(v) } += popped;
+                            }
                             if q.is_empty() {
                                 *unsafe { charged_sh.get_mut(d) } = false;
                             } else {
@@ -583,12 +678,20 @@ impl<'g> Engine<'g> {
                         pending.fetch_add(delta, Ordering::SeqCst);
                         delivered_cum.fetch_add((-delta) as u64, Ordering::SeqCst);
                     });
+                    if let Some(t) = t_deliver {
+                        r_deliver_ns += t.elapsed().as_nanos() as u64;
+                    }
+                    let t_barrier = timing.then(Instant::now);
                     barrier.wait(); // #2: all inboxes assembled
+                    if let Some(t) = t_barrier {
+                        r_barrier_ns += t.elapsed().as_nanos() as u64;
+                    }
 
                     // ---- compute: run own *active* programs (nodes
                     // with deliveries ∪ non-quiescent carryover, clause
                     // 5 via the shared merge), push own sends, update
                     // the carryover in place.
+                    let t_compute = timing.then(Instant::now);
                     guard(&mut || {
                         let mut delta: i64 = 0;
                         let mut sent: u64 = 0;
@@ -601,12 +704,18 @@ impl<'g> Engine<'g> {
                             (0, 0),
                             |v, (inbox_start, inbox_end)| {
                                 executed += 1;
+                                if track_nodes {
+                                    *unsafe { ns_invocations_sh.get_mut(v) } += 1;
+                                }
                                 let p = unsafe { programs_sh.get_mut(v) };
                                 let mut ctx =
                                     Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
                                 p.round(&mut ctx, &arena[inbox_start..inbox_end]);
                                 for (to, msg) in staged.drain(..) {
                                     sent += 1;
+                                    if track_nodes {
+                                        *unsafe { ns_sent_sh.get_mut(v) } += 1;
+                                    }
                                     if stage_one(p, v, to, &msg, &mut out_backlog) {
                                         combined += 1;
                                     } else {
@@ -649,11 +758,18 @@ impl<'g> Engine<'g> {
                             round_max_depth.fetch_max(depth, Ordering::SeqCst);
                         }
                     });
+                    if let Some(t) = t_compute {
+                        r_compute_ns += t.elapsed().as_nanos() as u64;
+                    }
+                    let t_barrier = timing.then(Instant::now);
                     barrier.wait(); // #3: all sends queued
+                    if let Some(t) = t_barrier {
+                        r_barrier_ns += t.elapsed().as_nanos() as u64;
+                    }
                 }
             };
 
-            let (rounds, frontier, hists) = std::thread::scope(|s| {
+            let (rounds, frontier, hists, wall) = std::thread::scope(|s| {
                 for wid in 1..threads {
                     let w = &worker;
                     s.spawn(move || w(wid));
@@ -673,7 +789,12 @@ impl<'g> Engine<'g> {
                 && (pending.load(Ordering::SeqCst) != 0
                     || nonquiescent.load(Ordering::SeqCst) != 0);
             histograms = hists;
+            run_wall = wall;
         }
+        if track_nodes {
+            self.node_stats = Some(node_stats);
+        }
+        self.wall_total.absorb(run_wall);
 
         if livelocked {
             panic!("CONGEST run exceeded {max_rounds} rounds — livelocked program?");
@@ -697,6 +818,7 @@ impl<'g> Engine<'g> {
                 active_per_round,
                 hot_edges: EngineReport::rank_hot_edges(&per_directed),
                 threads,
+                wall: run_wall,
             });
         }
 
@@ -714,6 +836,10 @@ impl<'g> Executor for Engine<'g> {
         sub.cap = self.cap;
         sub.max_rounds = self.max_rounds;
         sub.record_metrics = self.record_metrics;
+        if self.node_stats.is_some() {
+            sub.set_record_node_stats(true);
+        }
+        sub.trace = self.trace.clone();
         sub
     }
 
@@ -753,6 +879,20 @@ impl<'g> Executor for Engine<'g> {
 
     fn charge_frontier(&mut self, frontier: FrontierStats) {
         self.frontier.absorb(frontier);
+    }
+
+    fn set_record_node_stats(&mut self, record: bool) {
+        Engine::set_record_node_stats(self, record)
+    }
+
+    fn node_stats(&self) -> Option<&NodeStats> {
+        self.node_stats.as_ref()
+    }
+
+    fn charge_node_stats(&mut self, other: &NodeStats) {
+        if let Some(ns) = self.node_stats.as_mut() {
+            ns.absorb(other);
+        }
     }
 
     fn run<P, F>(&mut self, make: F) -> (Vec<P::Output>, RunStats)

@@ -1,93 +1,10 @@
 //! Per-run instrumentation.
+//!
+//! The report type moved to [`congest::obs`] (as
+//! [`congest::RunReport`]) so the sequential simulator can emit the
+//! same per-round series as the parallel engine — which is what lets
+//! `engine = "both"` scenario sweeps cross-check the series, not just
+//! the totals. This module re-exports it under its historical engine
+//! name.
 
-use lightgraph::EdgeId;
-
-/// Number of hot edges retained in [`EngineReport::hot_edges`].
-pub const HOT_EDGE_TOP_K: usize = 16;
-
-/// Congestion instrumentation for one engine run, collected when
-/// [`Engine::set_record_metrics`](crate::Engine::set_record_metrics) is
-/// enabled.
-#[derive(Debug, Clone, Default)]
-pub struct EngineReport {
-    /// Rounds executed (same value as the run's `RunStats::rounds`).
-    pub rounds: u64,
-    /// Logical messages sent (same value as the run's
-    /// `RunStats::messages`).
-    pub total_messages: u64,
-    /// Messages physically delivered to inboxes; equals
-    /// `total_messages` unless a per-edge combiner merged some away
-    /// (contract clause 7).
-    pub messages_delivered: u64,
-    /// Messages absorbed by per-edge combining (same value as the run's
-    /// `RunStats::messages_combined`).
-    pub messages_combined: u64,
-    /// Messages delivered in each round — the per-round message
-    /// histogram; index 0 is round 1. Sums to `messages_delivered`.
-    pub messages_per_round: Vec<u64>,
-    /// Largest backlog across all directed-edge queues *after* each
-    /// round's sends; a proxy for congestion pressure.
-    pub max_queue_depth_per_round: Vec<u64>,
-    /// Active nodes (nodes whose `Program::round` ran) in each round —
-    /// the frontier-size histogram; index 0 is round 1. Sums to the
-    /// run's `FrontierStats::invocations`.
-    pub active_per_round: Vec<u64>,
-    /// The `HOT_EDGE_TOP_K` undirected edges carrying the most traffic,
-    /// as `(edge id, delivered messages)`, heaviest first.
-    pub hot_edges: Vec<(EdgeId, u64)>,
-    /// Worker threads the run used.
-    pub threads: usize,
-}
-
-impl EngineReport {
-    /// Peak per-round message volume.
-    pub fn peak_round_messages(&self) -> u64 {
-        self.messages_per_round.iter().copied().max().unwrap_or(0)
-    }
-
-    /// Peak queue depth over the whole run.
-    pub fn peak_queue_depth(&self) -> u64 {
-        self.max_queue_depth_per_round
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(0)
-    }
-
-    /// Peak per-round active-node count (frontier width).
-    pub fn peak_active(&self) -> u64 {
-        self.active_per_round.iter().copied().max().unwrap_or(0)
-    }
-
-    /// Builds the top-K hot-edge list from per-directed-edge delivery
-    /// counts.
-    pub(crate) fn rank_hot_edges(per_directed: &[u64]) -> Vec<(EdgeId, u64)> {
-        let m = per_directed.len() / 2;
-        let mut per_edge: Vec<(EdgeId, u64)> = (0..m)
-            .map(|e| (e, per_directed[2 * e] + per_directed[2 * e + 1]))
-            .filter(|&(_, c)| c > 0)
-            .collect();
-        per_edge.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        per_edge.truncate(HOT_EDGE_TOP_K);
-        per_edge
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn hot_edges_rank_by_combined_directions() {
-        let per_directed = vec![3, 1, 0, 0, 2, 9];
-        let hot = EngineReport::rank_hot_edges(&per_directed);
-        assert_eq!(hot, vec![(2, 11), (0, 4)]);
-    }
-
-    #[test]
-    fn peaks_of_empty_report_are_zero() {
-        let r = EngineReport::default();
-        assert_eq!(r.peak_round_messages(), 0);
-        assert_eq!(r.peak_queue_depth(), 0);
-    }
-}
+pub use congest::obs::{RunReport as EngineReport, HOT_EDGE_TOP_K};

@@ -15,11 +15,18 @@
 //! simulator — so `engine = "both"` doubles as a production determinism
 //! check: the runner verifies the two engines' stats match and fails
 //! loudly otherwise.
+//!
+//! A root-level `trace = "path.jsonl"` key attaches a buffered
+//! [`TraceSink`] to every run: per-round profiling records plus one
+//! span tree per cell (scoped `family/n<n>/algorithm/engine/s<seed>`).
+//! Tracing never perturbs the deterministic columns (contract
+//! clause 8).
 
 use crate::config::{self, Table};
 use crate::Engine;
+use congest::obs;
 use congest::tree::build_bfs_tree;
-use congest::{Executor, RunStats, Simulator};
+use congest::{Executor, RunReport, RunStats, SharedTraceSink, Simulator, TraceSink};
 use dist_mst::boruvka::distributed_mst;
 use dist_mst::euler::distributed_euler_tour;
 use dist_sssp::bellman::bellman_ford;
@@ -101,6 +108,21 @@ pub struct Row {
     pub peak_round_messages: Option<u64>,
     /// Engine instrumentation, when recorded.
     pub peak_queue_depth: Option<u64>,
+    /// Wall time of the deliver phase (machine-dependent; scrubbed
+    /// wherever pinned, like `wall_ms`).
+    pub deliver_ms: Option<f64>,
+    /// Wall time of the compute phase (machine-dependent).
+    pub compute_ms: Option<f64>,
+    /// Wall time at phase barriers (machine-dependent; 0 for `sim`).
+    pub barrier_ms: Option<f64>,
+    /// Node with the largest message load (deterministic, pinned).
+    pub msg_max_node: Option<u64>,
+    /// Largest per-node message load `sent + delivered`.
+    pub msg_max: Option<u64>,
+    /// Median per-node message load (nearest-rank).
+    pub msg_p50: Option<u64>,
+    /// 99th-percentile per-node message load (nearest-rank).
+    pub msg_p99: Option<u64>,
 }
 
 impl Row {
@@ -110,7 +132,9 @@ impl Row {
                                           messages,messages_combined,messages_delivered,\
                                           active_peak,active_mean,wall_ms,\
                                           metric_name,metric,\
-                                          peak_round_messages,peak_queue_depth";
+                                          peak_round_messages,peak_queue_depth,\
+                                          deliver_ms,compute_ms,barrier_ms,\
+                                          msg_max_node,msg_max,msg_p50,msg_p99";
 
     /// JSONL serialization. Field order is stable; the headline metric
     /// appears under its algorithm-specific name (e.g. `"height"`).
@@ -143,14 +167,37 @@ impl Row {
         if let Some(d) = self.peak_queue_depth {
             s.push_str(&format!(",\"peak_queue_depth\":{d}"));
         }
+        if let Some(d) = self.deliver_ms {
+            s.push_str(&format!(",\"deliver_ms\":{d:.3}"));
+        }
+        if let Some(c) = self.compute_ms {
+            s.push_str(&format!(",\"compute_ms\":{c:.3}"));
+        }
+        if let Some(b) = self.barrier_ms {
+            s.push_str(&format!(",\"barrier_ms\":{b:.3}"));
+        }
+        if let Some(v) = self.msg_max_node {
+            s.push_str(&format!(",\"msg_max_node\":{v}"));
+        }
+        if let Some(v) = self.msg_max {
+            s.push_str(&format!(",\"msg_max\":{v}"));
+        }
+        if let Some(v) = self.msg_p50 {
+            s.push_str(&format!(",\"msg_p50\":{v}"));
+        }
+        if let Some(v) = self.msg_p99 {
+            s.push_str(&format!(",\"msg_p99\":{v}"));
+        }
         s.push('}');
         s
     }
 
     /// CSV serialization in [`Row::CSV_HEADER`] order.
     pub fn to_csv(&self) -> String {
+        let opt_u = |v: Option<u64>| v.map(|x| x.to_string()).unwrap_or_default();
+        let opt_f = |v: Option<f64>| v.map(|x| format!("{x:.3}")).unwrap_or_default();
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{}",
             self.family,
             self.n,
             self.m,
@@ -167,12 +214,15 @@ impl Row {
             self.wall_ms,
             self.metric_name,
             self.metric,
-            self.peak_round_messages
-                .map(|p| p.to_string())
-                .unwrap_or_default(),
-            self.peak_queue_depth
-                .map(|d| d.to_string())
-                .unwrap_or_default(),
+            opt_u(self.peak_round_messages),
+            opt_u(self.peak_queue_depth),
+            opt_f(self.deliver_ms),
+            opt_f(self.compute_ms),
+            opt_f(self.barrier_ms),
+            opt_u(self.msg_max_node),
+            opt_u(self.msg_max),
+            opt_u(self.msg_p50),
+            opt_u(self.msg_p99),
         )
     }
 }
@@ -245,31 +295,39 @@ pub fn drive<E: Executor>(
     p: &AlgoParams,
     seed: u64,
 ) -> Result<(RunStats, &'static str, u64), String> {
-    match algorithm {
+    // Resolve to the static name so the whole run sits under one root
+    // phase span (a no-op unless a span collector is installed).
+    let Some(name) = ALGORITHMS.into_iter().find(|&a| a == algorithm) else {
+        return Err(format!(
+            "unknown algorithm `{algorithm}` (expected one of {})",
+            ALGORITHMS.join(", ")
+        ));
+    };
+    Ok(obs::span(exec, name, |exec| match name {
         "bfs" => {
             let (tree, _) = build_bfs_tree(exec, 0);
-            Ok((exec.total(), "height", tree.height()))
+            (exec.total(), "height", tree.height())
         }
         "mst" => {
             let (tau, _) = build_bfs_tree(exec, 0);
             let m = distributed_mst(exec, &tau, 0, seed);
-            Ok((exec.total(), "weight", m.weight))
+            (exec.total(), "weight", m.weight)
         }
         "slt" => {
             let (tau, _) = build_bfs_tree(exec, 0);
             let slt = shallow_light_tree_with(exec, &tau, 0, p.eps, seed, p.landmarks, p.hop_bound);
-            Ok((exec.total(), "breakpoints", slt.breakpoints as u64))
+            (exec.total(), "breakpoints", slt.breakpoints as u64)
         }
         "spanner" => {
             let (tau, _) = build_bfs_tree(exec, 0);
             let sp = light_spanner(exec, &tau, 0, p.k, p.eps, seed);
-            Ok((exec.total(), "edges", sp.edges.len() as u64))
+            (exec.total(), "edges", sp.edges.len() as u64)
         }
         "euler" => {
             let (tau, _) = build_bfs_tree(exec, 0);
             let m = distributed_mst(exec, &tau, 0, seed);
             let tour = distributed_euler_tour(exec, &tau, &m, 0);
-            Ok((exec.total(), "tour_length", tour.total_length))
+            (exec.total(), "tour_length", tour.total_length)
         }
         "nets" => {
             let (tau, _) = build_bfs_tree(exec, 0);
@@ -279,16 +337,16 @@ pub fn drive<E: Executor>(
                 (exec.graph().max_weight() / 4).max(1)
             };
             let r = net(exec, &tau, big_delta, p.net_slack, seed);
-            Ok((exec.total(), "points", r.points.len() as u64))
+            (exec.total(), "points", r.points.len() as u64)
         }
         "doubling" => {
             let (tau, _) = build_bfs_tree(exec, 0);
             let sp = doubling_spanner(exec, &tau, 0, p.eps, seed);
-            Ok((exec.total(), "edges", sp.edges.len() as u64))
+            (exec.total(), "edges", sp.edges.len() as u64)
         }
         "bellman" => {
             let r = bellman_ford(exec, 0);
-            Ok((exec.total(), "max_dist", r.max_finite_dist()))
+            (exec.total(), "max_dist", r.max_finite_dist())
         }
         "landmark" => {
             let (tau, _) = build_bfs_tree(exec, 0);
@@ -298,13 +356,10 @@ pub fn drive<E: Executor>(
                 ..SptConfig::new(seed)
             };
             let spt = approx_spt(exec, &tau, 0, &cfg);
-            Ok((exec.total(), "max_dist", spt.max_finite_dist()))
+            (exec.total(), "max_dist", spt.max_finite_dist())
         }
-        other => Err(format!(
-            "unknown algorithm `{other}` (expected one of {})",
-            ALGORITHMS.join(", ")
-        )),
-    }
+        _ => unreachable!("resolved above"),
+    }))
 }
 
 struct Globals {
@@ -314,6 +369,7 @@ struct Globals {
     engines: Vec<&'static str>,
     base_seed: u64,
     format: OutputFormat,
+    trace: Option<SharedTraceSink>,
 }
 
 struct Cell<'a> {
@@ -323,29 +379,98 @@ struct Cell<'a> {
     seed: u64,
 }
 
-fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Result<Row, String> {
+/// The per-cell determinism probe compared across engines: `RunStats`,
+/// frontier accounting, and the per-node message summary columns.
+type Probe = (
+    RunStats,
+    u64,
+    u64,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+    Option<u64>,
+);
+
+/// Runs [`drive`] with a span collector installed when the sweep has a
+/// trace sink; the harvested span tree is appended to the trace under
+/// the cell's scope string.
+fn drive_cell<E: Executor>(
+    exec: &mut E,
+    globals: &Globals,
+    cell: &Cell<'_>,
+    scope: &str,
+) -> Result<(RunStats, &'static str, u64), String> {
+    match &globals.trace {
+        Some(sink) => {
+            let (res, tree) =
+                obs::collect_spans(|| drive(exec, cell.algorithm, &cell.params, cell.seed));
+            sink.lock().expect("trace sink").push_spans(scope, &tree);
+            res
+        }
+        None => drive(exec, cell.algorithm, &cell.params, cell.seed),
+    }
+}
+
+fn run_cell(
+    globals: &Globals,
+    g: &Graph,
+    which: &str,
+    cell: &Cell<'_>,
+) -> Result<(Row, Option<RunReport>), String> {
     let start = Instant::now();
-    let (stats, frontier, metric_name, metric, peaks) = match which {
+    let scope = format!(
+        "{}/n{}/{}/{}/s{}",
+        cell.family,
+        g.n(),
+        cell.algorithm,
+        which,
+        cell.seed
+    );
+    let (stats, frontier, metric_name, metric, report, summary, wall) = match which {
         "sim" => {
             let mut sim = Simulator::new(g);
             Executor::set_cap(&mut sim, globals.cap);
-            let (stats, name, metric) = drive(&mut sim, cell.algorithm, &cell.params, cell.seed)?;
-            (stats, sim.frontier_total(), name, metric, None)
+            sim.set_record_metrics(globals.record);
+            sim.set_record_node_stats(globals.record);
+            sim.set_trace(globals.trace.clone());
+            let (stats, name, metric) = drive_cell(&mut sim, globals, cell, &scope)?;
+            let report = sim.last_report().cloned();
+            let summary = Executor::node_stats(&sim).map(|ns| ns.summary());
+            let wall = globals.record.then(|| sim.wall_total());
+            (
+                stats,
+                sim.frontier_total(),
+                name,
+                metric,
+                report,
+                summary,
+                wall,
+            )
         }
         "parallel" => {
             let mut eng = Engine::with_threads(g, globals.threads);
             Executor::set_cap(&mut eng, globals.cap);
             eng.set_record_metrics(globals.record);
-            let (stats, name, metric) = drive(&mut eng, cell.algorithm, &cell.params, cell.seed)?;
-            let peaks = eng
-                .last_report()
-                .map(|r| (r.peak_round_messages(), r.peak_queue_depth()));
-            (stats, Executor::frontier_total(&eng), name, metric, peaks)
+            eng.set_record_node_stats(globals.record);
+            eng.set_trace(globals.trace.clone());
+            let (stats, name, metric) = drive_cell(&mut eng, globals, cell, &scope)?;
+            let report = eng.last_report().cloned();
+            let summary = Executor::node_stats(&eng).map(|ns| ns.summary());
+            let wall = globals.record.then(|| eng.wall_total());
+            (
+                stats,
+                Executor::frontier_total(&eng),
+                name,
+                metric,
+                report,
+                summary,
+                wall,
+            )
         }
         other => return Err(format!("unknown engine `{other}`")),
     };
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-    Ok(Row {
+    let row = Row {
         family: cell.family.to_owned(),
         n: g.n(),
         m: g.m(),
@@ -359,9 +484,17 @@ fn run_cell(globals: &Globals, g: &Graph, which: &str, cell: &Cell<'_>) -> Resul
         wall_ms,
         metric_name,
         metric,
-        peak_round_messages: peaks.map(|p| p.0),
-        peak_queue_depth: peaks.map(|p| p.1),
-    })
+        peak_round_messages: report.as_ref().map(|r| r.peak_round_messages()),
+        peak_queue_depth: report.as_ref().map(|r| r.peak_queue_depth()),
+        deliver_ms: wall.map(|w| w.deliver_ns as f64 / 1e6),
+        compute_ms: wall.map(|w| w.compute_ns as f64 / 1e6),
+        barrier_ms: wall.map(|w| w.barrier_ns as f64 / 1e6),
+        msg_max_node: summary.map(|s| s.msg_max_node as u64),
+        msg_max: summary.map(|s| s.msg_max),
+        msg_p50: summary.map(|s| s.msg_p50),
+        msg_p99: summary.map(|s| s.msg_p99),
+    };
+    Ok((row, report))
 }
 
 /// Runs every `[[run]]` sweep of a parsed config, writing rows to
@@ -390,6 +523,17 @@ pub fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), Stri
         "csv" => OutputFormat::Csv,
         other => return Err(format!("format must be jsonl|csv, got `{other}`")),
     };
+    let trace = match root.get("trace") {
+        None => None,
+        Some(v) => {
+            let path = v
+                .as_str()
+                .ok_or_else(|| "`trace` must be a path string".to_owned())?;
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            Some(TraceSink::shared(Box::new(file)))
+        }
+    };
     let globals = Globals {
         threads,
         cap: root.int_or("cap", 1).max(1) as usize,
@@ -397,6 +541,7 @@ pub fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), Stri
         engines,
         base_seed: root.int_or("seed", 1) as u64,
         format,
+        trace,
     };
     if format == OutputFormat::Csv {
         writeln!(out, "{}", Row::CSV_HEADER).map_err(|e| e.to_string())?;
@@ -512,12 +657,23 @@ fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> 
                     params,
                     seed,
                 };
-                // RunStats *and* frontier accounting must match across
-                // engines (the active set is contract-determined).
-                let mut seen: Option<(RunStats, u64, u64)> = None;
+                // RunStats, frontier accounting *and* the per-node
+                // message summary must match across engines (the
+                // active set is contract-determined, clause 8 extends
+                // that to the observers).
+                let mut seen: Option<Probe> = None;
+                let mut seen_report: Option<RunReport> = None;
                 for which in &globals.engines {
-                    let row = run_cell(globals, &g, which, &cell)?;
-                    let probe = (row.stats, row.active_peak, row.active_mean.to_bits());
+                    let (row, report) = run_cell(globals, &g, which, &cell)?;
+                    let probe = (
+                        row.stats,
+                        row.active_peak,
+                        row.active_mean.to_bits(),
+                        row.msg_max_node,
+                        row.msg_max,
+                        row.msg_p50,
+                        row.msg_p99,
+                    );
                     let line = match globals.format {
                         OutputFormat::Jsonl => row.to_json(),
                         OutputFormat::Csv => row.to_csv(),
@@ -531,7 +687,24 @@ fn sweep_run(globals: &Globals, ri: usize, run: &Table, out: &mut dyn Write) -> 
                             ));
                         }
                     }
+                    // With metrics recorded, the whole per-round series
+                    // must agree, not just the totals.
+                    if let (Some(prev), Some(cur)) = (seen_report.as_ref(), report.as_ref()) {
+                        if prev.messages_per_round != cur.messages_per_round
+                            || prev.active_per_round != cur.active_per_round
+                            || prev.max_queue_depth_per_round != cur.max_queue_depth_per_round
+                            || prev.hot_edges != cur.hot_edges
+                        {
+                            return Err(format!(
+                                "DETERMINISM VIOLATION: {family} n={n} {algorithm} seed={seed}: \
+                                 per-round series differ between sim and parallel"
+                            ));
+                        }
+                    }
                     seen = Some(probe);
+                    if report.is_some() {
+                        seen_report = report;
+                    }
                 }
             }
         }

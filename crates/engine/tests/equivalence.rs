@@ -839,3 +839,112 @@ fn path_wave_skips_idle_rounds_without_changing_outputs() {
         assert_eq!(Executor::frontier_total(&eng), f, "threads={threads}");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Clause 8 (observer neutrality) + the per-node histograms:
+    /// attaching observers (per-node counters and a trace sink) must
+    /// perturb nothing — outputs, `RunStats`, frontier totals all
+    /// bit-identical to an unobserved run — while the counters
+    /// themselves sum to the run totals and the full per-node vectors
+    /// are bit-identical across engines and thread counts.
+    #[test]
+    fn prop_node_histograms_sum_and_observers_are_neutral((g, seed) in arb_graph()) {
+        use congest::TraceSink;
+        // Baseline: no observers attached.
+        let mut plain = Simulator::new(&g);
+        let (tau_p, _) = build_bfs_tree(&mut plain, 0);
+        let mp = distributed_mst(&mut plain, &tau_p, 0, seed);
+
+        // Observed run: per-node counters plus a trace sink.
+        let mut sim = Simulator::new(&g);
+        sim.set_record_node_stats(true);
+        sim.set_trace(Some(TraceSink::shared(Box::new(std::io::sink()))));
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let ms = distributed_mst(&mut sim, &tau, 0, seed);
+        prop_assert_eq!(&mp.mst_edges, &ms.mst_edges, "observers changed outputs");
+        prop_assert_eq!(mp.stats, ms.stats, "observers changed stats");
+        prop_assert_eq!(Executor::total(&plain), Executor::total(&sim));
+        prop_assert_eq!(plain.frontier_total(), sim.frontier_total());
+
+        let totals = Executor::total(&sim);
+        let frontier = sim.frontier_total();
+        let ns = Executor::node_stats(&sim).expect("recording enabled");
+        prop_assert_eq!(ns.sent.iter().sum::<u64>(), totals.messages);
+        prop_assert_eq!(ns.delivered.iter().sum::<u64>(), totals.messages_delivered());
+        prop_assert_eq!(ns.invocations.iter().sum::<u64>(), frontier.invocations);
+
+        for threads in THREADS_HEAVY {
+            let mut eng = Engine::with_threads(&g, threads);
+            eng.set_record_node_stats(true);
+            eng.set_trace(Some(TraceSink::shared(Box::new(std::io::sink()))));
+            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+            let me = distributed_mst(&mut eng, &tau_e, 0, seed);
+            prop_assert_eq!(&ms.mst_edges, &me.mst_edges, "outputs (threads={})", threads);
+            prop_assert_eq!(ms.stats, me.stats, "stats (threads={})", threads);
+            let ne = Executor::node_stats(&eng).expect("recording enabled");
+            prop_assert_eq!(&ns.sent, &ne.sent, "per-node sent (threads={})", threads);
+            prop_assert_eq!(
+                &ns.delivered, &ne.delivered,
+                "per-node delivered (threads={})", threads
+            );
+            prop_assert_eq!(
+                &ns.invocations, &ne.invocations,
+                "per-node invocations (threads={})", threads
+            );
+            prop_assert_eq!(ns.summary(), ne.summary(), "summary (threads={})", threads);
+        }
+    }
+}
+
+/// Pinned SLT span tree at the bench workload shape (geometric n=1k,
+/// seed 1): every major phase appears as a named span, the tree
+/// attributes at least 95% of the root's delivered messages to named
+/// sub-phases, and the deterministic span columns are bit-identical
+/// across engines — only `wall_ns` is machine-dependent.
+#[test]
+fn slt_span_tree_is_pinned_and_engine_identical() {
+    use congest::obs;
+    let g = engine::scenario::build_graph("geometric", 1000, 100, 1).expect("pinned family");
+    let params = engine::scenario::AlgoParams::default();
+
+    let mut sim = Simulator::new(&g);
+    let (rs, tree_s) =
+        obs::collect_spans(|| engine::scenario::drive(&mut sim, "slt", &params, 1).expect("runs"));
+    let mut eng = Engine::with_threads(&g, 4);
+    let (re, tree_e) =
+        obs::collect_spans(|| engine::scenario::drive(&mut eng, "slt", &params, 1).expect("runs"));
+    assert_eq!(rs.0, re.0, "RunStats identical under span collection");
+    assert_eq!(rs.2, re.2, "metric identical under span collection");
+
+    let root = tree_s.find("slt").expect("root span");
+    for phase in ["mst", "tour", "spt", "bp1", "bp2", "mark", "final_spt"] {
+        assert!(
+            tree_s.find(phase).is_some(),
+            "phase `{phase}` missing from the span tree"
+        );
+    }
+    assert!(
+        root.child_delivered() * 100 >= root.delivered() * 95,
+        "named phases attribute only {} of {} delivered messages",
+        root.child_delivered(),
+        root.delivered()
+    );
+
+    let fs = tree_s.flatten();
+    let fe = tree_e.flatten();
+    assert_eq!(fs.len(), fe.len(), "span count");
+    for ((ps, node_s), (pe, node_e)) in fs.iter().zip(&fe) {
+        assert_eq!(ps, pe, "span path");
+        assert_eq!(node_s.stats, node_e.stats, "span stats at {ps}");
+        assert_eq!(
+            node_s.invocations, node_e.invocations,
+            "invocations at {ps}"
+        );
+        assert_eq!(
+            node_s.sched_rounds, node_e.sched_rounds,
+            "sched_rounds at {ps}"
+        );
+    }
+}

@@ -1,10 +1,14 @@
 //! Golden-file test for the scenario runner: `scenarios/quick.toml` is
 //! executed in-process (both output formats) and the rows must match
-//! the committed fixtures byte-for-byte after scrubbing the two
-//! machine-dependent fields (`wall_ms`, `threads`) and the two
+//! the committed fixtures byte-for-byte after scrubbing the
+//! machine-dependent fields (`wall_ms`, `threads`, and the per-phase
+//! wall columns `deliver_ms`/`compute_ms`/`barrier_ms`) and the two
 //! frontier-bookkeeping fields (`active_peak`, `active_mean` — they
 //! are deterministic, but scrubbed so fixtures pin the *simulated*
-//! algorithm, not the scheduler's accounting).
+//! algorithm, not the scheduler's accounting). The per-node message
+//! summary columns (`msg_max_node`, `msg_max`, `msg_p50`, `msg_p99`)
+//! are deterministic and engine-identical (clause 8), so they stay
+//! pinned.
 //!
 //! Everything else — field order, seeds, graph sizes, round and message
 //! counts, headline metrics, engine instrumentation peaks — is pinned:
@@ -51,7 +55,15 @@ fn scrub_json_field(line: &str, key: &str) -> String {
     format!("{}_{}", &line[..vstart], &line[vend..])
 }
 
-const SCRUBBED_FIELDS: [&str; 4] = ["wall_ms", "threads", "active_peak", "active_mean"];
+const SCRUBBED_FIELDS: [&str; 7] = [
+    "wall_ms",
+    "threads",
+    "active_peak",
+    "active_mean",
+    "deliver_ms",
+    "compute_ms",
+    "barrier_ms",
+];
 
 fn scrub_jsonl(out: &str) -> String {
     out.lines()

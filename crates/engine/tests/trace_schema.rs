@@ -1,0 +1,170 @@
+//! Schema validation for the observability trace (`trace = "…"` in a
+//! scenario config): runs a small two-algorithm sweep on both engines
+//! with a trace sink attached and checks every emitted JSONL record
+//! against the documented shape — `run` records declaring engine runs,
+//! `round` records referencing a declared run, and `span` records
+//! carrying the per-cell span tree. Also re-checks observer
+//! neutrality (contract clause 8) at the trace level: the
+//! deterministic span fields must be bit-identical between the `sim`
+//! and `parallel` scopes of the same cell.
+
+use engine::config;
+use engine::scenario::run_sweep;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Extracts the raw value text of `"key":<value>` from a JSONL line.
+fn raw_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..]
+        .char_indices()
+        .scan(false, |in_str, (i, c)| match c {
+            '"' => {
+                *in_str = !*in_str;
+                Some((i, c))
+            }
+            ',' | '}' if !*in_str => None,
+            _ => Some((i, c)),
+        })
+        .last()
+        .map_or(start, |(i, _)| start + i + 1);
+    Some(&line[start..end])
+}
+
+fn u64_field(line: &str, key: &str) -> u64 {
+    raw_field(line, key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {line}"))
+        .parse()
+        .unwrap_or_else(|e| panic!("`{key}` not a u64 in {line}: {e}"))
+}
+
+fn str_field<'a>(line: &'a str, key: &str) -> &'a str {
+    raw_field(line, key)
+        .unwrap_or_else(|| panic!("missing `{key}` in {line}"))
+        .trim_matches('"')
+}
+
+#[test]
+fn trace_jsonl_schema_is_valid_and_engine_neutral() {
+    let path = std::env::temp_dir().join(format!(
+        "lightnet_trace_schema_{}.jsonl",
+        std::process::id()
+    ));
+    let text = format!(
+        "seed = 5\nthreads = 2\nengine = \"both\"\nrecord_metrics = true\n\
+         trace = \"{}\"\n\n\
+         [[run]]\nfamily = \"grid\"\nsizes = [64]\nalgorithms = [\"bfs\", \"slt\"]\n",
+        path.display()
+    );
+    let doc = config::parse(&text).expect("inline config parses");
+    let mut out = Vec::new();
+    run_sweep(&doc, &mut out).expect("traced sweep runs");
+    // The sink flushes on drop inside run_sweep, so the file is
+    // complete here.
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_file(&path).ok();
+    assert!(!trace.is_empty(), "trace file is non-empty");
+
+    let mut runs: BTreeMap<u64, String> = BTreeMap::new(); // run id -> engine
+    let mut kinds: BTreeSet<&str> = BTreeSet::new();
+    // (scope-with-engine-blanked, path) -> deterministic span fields.
+    let mut spans: BTreeMap<(String, String), [u64; 6]> = BTreeMap::new();
+    let mut scopes: BTreeSet<String> = BTreeSet::new();
+    for line in trace.lines() {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "record is a JSON object: {line}"
+        );
+        let kind = str_field(line, "type");
+        match kind {
+            "run" => {
+                let id = u64_field(line, "run");
+                let engine = str_field(line, "engine");
+                assert!(
+                    engine == "sim" || engine == "parallel",
+                    "known engine in {line}"
+                );
+                assert_eq!(id as usize, runs.len() + 1, "run ids are sequential");
+                runs.insert(id, engine.to_owned());
+            }
+            "round" => {
+                let id = u64_field(line, "run");
+                let engine = runs
+                    .get(&id)
+                    .unwrap_or_else(|| panic!("round references undeclared run {id}"));
+                assert!(u64_field(line, "round") >= 1, "rounds are 1-based: {line}");
+                for key in ["delivered", "active", "deliver_ns", "compute_ns"] {
+                    u64_field(line, key);
+                }
+                if engine == "sim" {
+                    assert_eq!(
+                        u64_field(line, "barrier_ns"),
+                        0,
+                        "sim has no barrier phase: {line}"
+                    );
+                }
+            }
+            "span" => {
+                let scope = str_field(line, "scope");
+                let path = str_field(line, "path");
+                assert!(!path.is_empty(), "span path non-empty: {line}");
+                // scope = family/n<n>/algorithm/engine/s<seed>
+                let parts: Vec<&str> = scope.split('/').collect();
+                assert_eq!(parts.len(), 5, "scope has 5 components: {scope}");
+                assert!(
+                    parts[3] == "sim" || parts[3] == "parallel",
+                    "scope engine component: {scope}"
+                );
+                scopes.insert(scope.to_owned());
+                let fields = [
+                    u64_field(line, "rounds"),
+                    u64_field(line, "messages"),
+                    u64_field(line, "messages_combined"),
+                    u64_field(line, "messages_delivered"),
+                    u64_field(line, "invocations"),
+                    u64_field(line, "sched_rounds"),
+                ];
+                u64_field(line, "wall_ns"); // present, machine-dependent
+                let mut cell = parts.clone();
+                cell[3] = "_";
+                let key = (cell.join("/"), path.to_owned());
+                match spans.get(&key) {
+                    // Clause 8 at the trace level: both engines emit
+                    // the same deterministic span numbers.
+                    Some(prev) => assert_eq!(*prev, fields, "span {key:?} differs between engines"),
+                    None => {
+                        spans.insert(key, fields);
+                    }
+                }
+            }
+            other => panic!("unknown record type `{other}` in {line}"),
+        }
+        kinds.insert(match kind {
+            "run" => "run",
+            "round" => "round",
+            _ => "span",
+        });
+    }
+
+    assert_eq!(
+        kinds.into_iter().collect::<Vec<_>>(),
+        ["round", "run", "span"],
+        "all three record types present"
+    );
+    let engines: BTreeSet<&str> = runs.values().map(String::as_str).collect();
+    assert_eq!(
+        engines.into_iter().collect::<Vec<_>>(),
+        ["parallel", "sim"],
+        "both engines produced runs"
+    );
+    // 2 algorithms × 2 engines worth of cell scopes.
+    assert_eq!(scopes.len(), 4, "one scope per cell per engine: {scopes:?}");
+    assert!(
+        spans.keys().any(|(_, p)| p.starts_with("slt/")),
+        "slt cell carries nested phase spans"
+    );
+    assert!(
+        spans.keys().any(|(_, p)| p == "bfs"),
+        "bfs root span present"
+    );
+}

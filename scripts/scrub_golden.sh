@@ -4,11 +4,14 @@
 # fixtures in crates/engine/tests/fixtures/.
 #
 # The scrubbed fields mirror SCRUBBED_FIELDS in
-# crates/engine/tests/golden.rs (the in-process golden test): wall_ms
-# and threads are machine-dependent; active_peak and active_mean are
+# crates/engine/tests/golden.rs (the in-process golden test): wall_ms,
+# threads, and the per-phase wall columns deliver_ms/compute_ms/
+# barrier_ms are machine-dependent; active_peak and active_mean are
 # deterministic frontier bookkeeping, scrubbed so fixtures pin the
-# *simulated* algorithm rather than the scheduler's accounting. Keep
-# the two lists in sync.
+# *simulated* algorithm rather than the scheduler's accounting. The
+# per-node message summary columns (msg_max_node, msg_max, msg_p50,
+# msg_p99) are deterministic and stay pinned. Keep the two lists in
+# sync.
 #
 # Usage:
 #   scripts/scrub_golden.sh jsonl rows.jsonl > rows.scrubbed.jsonl
@@ -24,10 +27,10 @@ file="${2:?usage: scrub_golden.sh jsonl|csv <file>}"
 
 case "$mode" in
   jsonl)
-    sed -E 's/"wall_ms":[0-9.]+/"wall_ms":_/; s/"threads":[0-9]+/"threads":_/; s/"active_peak":[0-9]+/"active_peak":_/; s/"active_mean":[0-9.]+/"active_mean":_/' "$file"
+    sed -E 's/"wall_ms":[0-9.]+/"wall_ms":_/; s/"threads":[0-9]+/"threads":_/; s/"active_peak":[0-9]+/"active_peak":_/; s/"active_mean":[0-9.]+/"active_mean":_/; s/"deliver_ms":[0-9.]+/"deliver_ms":_/; s/"compute_ms":[0-9.]+/"compute_ms":_/; s/"barrier_ms":[0-9.]+/"barrier_ms":_/' "$file"
     ;;
   csv)
-    awk -F, -v OFS=, 'NR==1{for(i=1;i<=NF;i++) if ($i=="wall_ms"||$i=="threads"||$i=="active_peak"||$i=="active_mean") s[i]=1; print; next} {for(i in s) $i="_"; print}' "$file"
+    awk -F, -v OFS=, 'NR==1{for(i=1;i<=NF;i++) if ($i=="wall_ms"||$i=="threads"||$i=="active_peak"||$i=="active_mean"||$i=="deliver_ms"||$i=="compute_ms"||$i=="barrier_ms") s[i]=1; print; next} {for(i in s) $i="_"; print}' "$file"
     ;;
   *)
     echo "scrub_golden.sh: unknown mode \`$mode\` (expected jsonl or csv)" >&2
