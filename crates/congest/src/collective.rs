@@ -23,11 +23,21 @@
 //!   settled keys, which is what made the landmark pairwise gather
 //!   round-bound (see `dist_sssp::landmark`).
 //!
+//! * [`downcast`] — the *targeted* inverse of [`gather`]: the root
+//!   unicasts each keyed item down the tree path to one designated
+//!   vertex. An item costs `O(depth(target))` deliveries instead of the
+//!   `O(n)` a broadcast pays, which is what makes "convergecast to rt,
+//!   compute locally, return each vertex *its own* answer" affordable
+//!   when the answers differ per vertex (Euler-tour shifts, Borůvka
+//!   relabels, BP₂ membership).
+//!
 //! Together, `gather` + `broadcast` implement the paper's recurring
-//! "convergecast to rt, compute locally, broadcast the answer" pattern.
+//! "convergecast to rt, compute locally, broadcast the answer" pattern;
+//! `gather_merged` + `downcast` is the message-lean variant for
+//! per-vertex answers.
 
 use crate::exec::Executor;
-use crate::message::{Message, Word};
+use crate::message::{pack2, unpack2, Message, Word};
 use crate::program::{Ctx, Program, RunStats};
 use crate::tree::BfsTree;
 use lightgraph::NodeId;
@@ -39,6 +49,7 @@ pub type Item = (Word, [Word; 2]);
 
 const TAG_ITEM: u64 = 1;
 const TAG_DONE: u64 = 2;
+const TAG_SEND: u64 = 3;
 
 // ---------------------------------------------------------------------
 // Broadcast
@@ -96,6 +107,93 @@ pub fn broadcast<E: Executor>(
         parent: tree.parent[v],
         children: tree.children[v].clone(),
         initial: if v == root { items.clone() } else { Vec::new() },
+        received: Vec::new(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Downcast (targeted unicast down tree paths)
+// ---------------------------------------------------------------------
+
+struct DowncastProgram {
+    /// Only the root holds items initially: `(target, (key, value))`.
+    initial: Vec<(NodeId, Item)>,
+    /// Next hop per routed target at this vertex (targets whose root
+    /// path passes through here).
+    route: BTreeMap<Word, NodeId>,
+    received: Vec<Item>,
+}
+
+impl Program for DowncastProgram {
+    type Output = Vec<Item>;
+
+    fn init(&mut self, ctx: &mut Ctx<'_>) {
+        let me = ctx.node();
+        for (t, (k, [a, b])) in std::mem::take(&mut self.initial) {
+            if t == me {
+                // Root-addressed items are already home: free.
+                self.received.push((k, [a, b]));
+            } else {
+                let next = self.route[&(t as Word)];
+                // tag and target share a word (both fit 32 bits), so the
+                // whole envelope fits the CONGEST word budget
+                ctx.send(next, Message::words(&[pack2(TAG_SEND, t as Word), k, a, b]));
+            }
+        }
+    }
+
+    fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+        let me = ctx.node();
+        for (_, msg) in inbox {
+            let (tag, t) = unpack2(msg.word(0));
+            debug_assert_eq!(tag, TAG_SEND);
+            if t as NodeId == me {
+                self.received
+                    .push((msg.word(1), [msg.word(2), msg.word(3)]));
+            } else {
+                ctx.send(self.route[&t], msg.clone());
+            }
+        }
+    }
+
+    fn finish(self) -> Vec<Item> {
+        self.received
+    }
+}
+
+/// Unicasts each keyed item from the tree root to its designated target
+/// vertex, along the unique tree path. Returns, per vertex, the items
+/// addressed to it, in the root's emission order (ties between targets
+/// sharing a path prefix pipeline at cap 1).
+///
+/// Cost: `Σ depth(target)` deliveries and `O(|items| + height)` rounds —
+/// the point of the primitive: per-vertex answers computed at the root
+/// (fragment shifts, new fragment ids, selected tour positions) return
+/// without the `O(|items| · n)` a [`broadcast`] would pay. Items
+/// addressed to the root itself are recorded locally for free.
+///
+/// The per-vertex routing tables (`target → child`) are derived from
+/// `tree` alone by walking each target's parent chain once — free local
+/// precomputation performed by the orchestrator on the vertices' behalf,
+/// like the tree itself.
+pub fn downcast<E: Executor>(
+    sim: &mut E,
+    tree: &BfsTree,
+    items: Vec<(NodeId, Item)>,
+) -> (Vec<Vec<Item>>, RunStats) {
+    let mut route: Vec<BTreeMap<Word, NodeId>> = vec![BTreeMap::new(); tree.parent.len()];
+    for &(t, _) in &items {
+        let mut cur = t;
+        while let Some(p) = tree.parent[cur] {
+            route[p].insert(t as Word, cur);
+            cur = p;
+        }
+        debug_assert_eq!(cur, tree.root, "target {t} not under the root");
+    }
+    let root = tree.root;
+    sim.run(|v, _| DowncastProgram {
+        initial: if v == root { items.clone() } else { Vec::new() },
+        route: route[v].clone(),
         received: Vec::new(),
     })
 }
@@ -483,6 +581,63 @@ mod tests {
         let (out, stats) = broadcast(&mut sim, &tree, Vec::new());
         assert!(out.iter().all(|v| v.is_empty()));
         assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn downcast_delivers_each_item_to_its_target_only() {
+        let g = generators::erdos_renyi(32, 0.12, 9, 7);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        // two items to vertex 5 (order preserved), one to 17, one to the
+        // root itself (free), none to anyone else
+        let items: Vec<(NodeId, Item)> = vec![
+            (5, (100, [1, 2])),
+            (17, (200, [3, 4])),
+            (5, (101, [5, 6])),
+            (0, (300, [7, 8])),
+        ];
+        let (out, stats) = downcast(&mut sim, &tree, items);
+        assert_eq!(out[5], vec![(100, [1, 2]), (101, [5, 6])]);
+        assert_eq!(out[17], vec![(200, [3, 4])]);
+        assert_eq!(out[0], vec![(300, [7, 8])]);
+        for v in 0..g.n() {
+            if ![0, 5, 17].contains(&v) {
+                assert!(out[v].is_empty(), "vertex {v} must receive nothing");
+            }
+        }
+        // cost = sum of target depths, not O(n) per item
+        let depth_sum = tree.depth[5] + tree.depth[17] + tree.depth[5];
+        assert_eq!(stats.messages, depth_sum, "one hop per path edge");
+    }
+
+    #[test]
+    fn downcast_pipelines_on_a_path() {
+        let g = generators::path(16, 1);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let items: Vec<(NodeId, Item)> = (1..16)
+            .map(|v| (v, (v as u64, [v as u64 * 3, 0])))
+            .collect();
+        let (out, stats) = downcast(&mut sim, &tree, items);
+        for v in 1..16 {
+            assert_eq!(out[v], vec![(v as u64, [v as u64 * 3, 0])]);
+        }
+        assert!(
+            stats.rounds <= 15 + 15 + 2,
+            "downcast not pipelined: {} rounds",
+            stats.rounds
+        );
+    }
+
+    #[test]
+    fn downcast_of_nothing_is_instant() {
+        let g = generators::grid(4, 4, 2, 2);
+        let mut sim = Simulator::new(&g);
+        let (tree, _) = build_bfs_tree(&mut sim, 0);
+        let (out, stats) = downcast(&mut sim, &tree, Vec::new());
+        assert!(out.iter().all(Vec::is_empty));
+        assert_eq!(stats.rounds, 0);
+        assert_eq!(stats.messages, 0);
     }
 
     #[test]

@@ -617,6 +617,54 @@ mod tests {
     use lightgraph::Graph;
 
     #[test]
+    fn summary_of_zero_nodes_is_the_default() {
+        // n = 0: no loads at all — must not panic or divide by zero,
+        // and every column stays at its zero default.
+        let stats = NodeStats::new(0);
+        assert_eq!(stats.summary(), NodeSummary::default());
+        assert_eq!(NodeStats::default().summary(), NodeSummary::default());
+    }
+
+    #[test]
+    fn summary_of_an_all_quiescent_run_is_all_zeros() {
+        // All-zero loads (every node quiescent, nothing sent or
+        // delivered): percentile ranks must stay in bounds and the
+        // argmax must be the smallest node id.
+        let stats = NodeStats::new(5);
+        let s = stats.summary();
+        assert_eq!(s.msg_max, 0);
+        assert_eq!(s.msg_max_node, 0, "ties break to the smallest id");
+        assert_eq!(s.msg_p50, 0);
+        assert_eq!(s.msg_p99, 0);
+
+        // Single-node edge case: nearest-rank index must clamp to the
+        // only element for every quantile.
+        let one = NodeStats::new(1);
+        assert_eq!(one.summary(), NodeSummary::default());
+
+        // End-to-end: a recorded run where no program ever sends.
+        let g = Graph::from_edges(3, [(0, 1, 1), (1, 2, 1)]).unwrap();
+        let mut sim = Simulator::new(&g);
+        sim.set_record_node_stats(true);
+        struct Silent;
+        impl crate::Program for Silent {
+            type Output = ();
+            fn init(&mut self, _: &mut crate::Ctx<'_>) {}
+            fn round(
+                &mut self,
+                _: &mut crate::Ctx<'_>,
+                _: &[(lightgraph::NodeId, crate::Message)],
+            ) {
+            }
+            fn finish(self) {}
+        }
+        let (_, stats) = crate::Executor::run(&mut sim, |_, _| Silent);
+        assert_eq!(stats.messages, 0);
+        let ns = crate::Executor::node_stats(&sim).expect("recording enabled");
+        assert_eq!(ns.summary(), NodeSummary::default());
+    }
+
+    #[test]
     fn span_is_transparent_without_a_collector() {
         let g = Graph::from_edges(2, [(0, 1, 1)]).unwrap();
         let mut sim = Simulator::new(&g);

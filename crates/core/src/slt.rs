@@ -193,11 +193,15 @@ pub fn shallow_light_tree_with(
         }
     }
 
-    // (2b) BP₂: heads upcast (position, R, d_rt); rt filters with the
-    // same sequential rule and broadcasts the selected head positions.
+    // (2b) BP₂: heads upcast (position, R, d_rt) through the eager
+    // merged gather (positions are unique keys); rt filters with the
+    // same sequential rule and unicasts each selected position to the
+    // vertex that owns it — `Σ depth` deliveries instead of the
+    // `|BP₂| · n` the old broadcast paid.
     let dist_ref = &spt.dist;
+    let seq_ref = &seq;
     let bp2 = obs::span(sim, "bp2", |sim| {
-        let (heads, _) = collective::gather(sim, tau, |v| {
+        let (heads, _) = collective::gather_merged(sim, tau, |v| {
             routing.positions[v]
                 .iter()
                 .filter(|&&p| p % alpha == 0)
@@ -217,9 +221,14 @@ pub fn shallow_light_tree_with(
                 last_r = r;
             }
         }
-        let bcast: Vec<collective::Item> = bp2.iter().map(|&p| (p, [1, 0])).collect();
-        let (recv, _) = collective::broadcast(sim, tau, bcast);
-        debug_assert!(recv.iter().all(|r| r.len() == bp2.len()));
+        let items: Vec<(NodeId, collective::Item)> = bp2
+            .iter()
+            .map(|&p| (seq_ref[p as usize], (p, [1, 0])))
+            .collect();
+        let (recv, _) = collective::downcast(sim, tau, items);
+        debug_assert!(bp2
+            .iter()
+            .all(|&p| recv[seq_ref[p as usize]].iter().any(|&(k, _)| k == p)));
         bp2
     });
     for &p in &bp2 {

@@ -11,11 +11,19 @@
 //! most `√n`, so phase 1 ends with `O(√n)` base fragments — exactly the
 //! structure §3 consumes.
 //!
-//! Phase 2 finishes the MST globally: per-fragment MWOEs are combined up
-//! the BFS tree (`O(F + D)` rounds, Lemma 1), the root resolves the
-//! merges locally and broadcasts the chosen *external edges*; every
-//! vertex applies the same deterministic component computation. Borůvka
-//! halving gives `O(log n)` global phases.
+//! Phase 2 finishes the MST globally: per-fragment MWOEs flow up the
+//! BFS tree through the **combiner-aware convergecast**
+//! ([`congest::collective::converge_merged`]) — the lexicographic
+//! `(weight, edge)` minimum is a semilattice merge, so candidates merge
+//! *in flight* inside the clause-7 per-edge queues instead of waiting on
+//! watermark schedules — the root resolves the merges once and returns
+//! each re-labeled component id along tree paths
+//! ([`congest::collective::downcast`] to the affected base-fragment
+//! leaders, then a selective intra-fragment flood). Borůvka halving
+//! gives `O(log n)` global phases. Neighbor fragment ids are kept in a
+//! persistent per-edge table (`NbrTable`) refreshed *incrementally*:
+//! only vertices whose id changed re-announce, so the `2m` full
+//! exchange is paid once, not once per phase.
 //!
 //! Ties are broken by `(weight, edge id)` throughout, which makes edge
 //! weights effectively unique, the MST unique, and the distributed
@@ -23,6 +31,7 @@
 
 use crate::passes::{self, FragView, Val};
 use congest::collective;
+use congest::obs;
 use congest::tree::BfsTree;
 use congest::{pack2, unpack2, Ctx, Executor, Message, Program, RunStats, Word};
 use lightgraph::{EdgeId, Graph, NodeId, Weight, INF};
@@ -60,15 +69,16 @@ pub struct MstResult {
     pub phase2_iterations: usize,
     /// Rounds and messages consumed by the whole construction.
     pub stats: RunStats,
+    /// Cached base-fragment count (one leader per fragment), computed
+    /// once at construction — [`Self::fragment_count`] used to clone and
+    /// sort `base_fragment_of` on every call.
+    fragments: usize,
 }
 
 impl MstResult {
     /// Number of base fragments.
     pub fn fragment_count(&self) -> usize {
-        let mut ids: Vec<u64> = self.base_fragment_of.clone();
-        ids.sort_unstable();
-        ids.dedup();
-        ids.len()
+        self.fragments
     }
 }
 
@@ -80,21 +90,24 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// One-round neighbor fragment-id exchange.
-struct Exchange {
-    frag: u64,
-    heard: HashMap<NodeId, u64>,
+/// One announcement round of the incremental exchange: a vertex with
+/// `frag = Some(f)` tells all neighbors its (new) fragment id.
+struct Announce {
+    frag: Option<u64>,
+    heard: Vec<(NodeId, u64)>,
 }
 
-impl Program for Exchange {
-    type Output = HashMap<NodeId, u64>;
+impl Program for Announce {
+    type Output = Vec<(NodeId, u64)>;
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        ctx.send_all(Message::words(&[TAG_FRAG, self.frag]));
+        if let Some(f) = self.frag {
+            ctx.send_all(Message::words(&[TAG_FRAG, f]));
+        }
     }
     fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
         for (from, msg) in inbox {
             debug_assert_eq!(msg.word(0), TAG_FRAG);
-            self.heard.insert(*from, msg.word(1));
+            self.heard.push((*from, msg.word(1)));
         }
     }
     fn finish(self) -> Self::Output {
@@ -102,12 +115,55 @@ impl Program for Exchange {
     }
 }
 
-fn exchange_frag_ids(sim: &mut impl Executor, frag: &[u64]) -> Vec<HashMap<NodeId, u64>> {
-    let (out, _) = sim.run(|v, _| Exchange {
-        frag: frag[v],
-        heard: HashMap::new(),
-    });
-    out
+/// Persistent neighbor-fragment table: `frag_at[v][i]` holds the latest
+/// fragment id announced by the `i`-th neighbor of `v` (slot-aligned
+/// with `g.neighbors(v)`, a dense `Vec` rather than a per-round
+/// `HashMap`). [`NbrTable::refresh`] is *incremental*: a vertex
+/// re-announces only when its fragment id changed since its last
+/// announcement, so the first refresh costs `2m` messages and every
+/// later one charges only the endpoints a merge actually relabeled.
+struct NbrTable {
+    /// Neighbor id → slot, built once at construction (off the per-phase
+    /// hot path; lookups during a refresh are one hash per *update*).
+    slot: Vec<HashMap<NodeId, usize>>,
+    frag_at: Vec<Vec<u64>>,
+    last_announced: Vec<u64>,
+}
+
+impl NbrTable {
+    fn new(g: &Graph) -> Self {
+        NbrTable {
+            slot: (0..g.n())
+                .map(|v| {
+                    g.neighbors(v)
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &(u, _, _))| (u, i))
+                        .collect()
+                })
+                .collect(),
+            frag_at: (0..g.n())
+                .map(|v| vec![u64::MAX; g.neighbors(v).len()])
+                .collect(),
+            last_announced: vec![u64::MAX; g.n()],
+        }
+    }
+
+    /// Brings the table up to date with `frag`, charging only changed
+    /// vertices (all of them on the first call).
+    fn refresh(&mut self, sim: &mut impl Executor, frag: &[u64]) {
+        let last = &self.last_announced;
+        let (heard, _) = sim.run(|v, _| Announce {
+            frag: (frag[v] != last[v]).then(|| frag[v]),
+            heard: Vec::new(),
+        });
+        for (v, updates) in heard.into_iter().enumerate() {
+            for (u, f) in updates {
+                self.frag_at[v][self.slot[v][&u]] = f;
+            }
+        }
+        self.last_announced.copy_from_slice(frag);
+    }
 }
 
 /// The tail→head merge negotiation across MWOE edges (two rounds).
@@ -198,11 +254,12 @@ impl Program for Relabel {
 
 /// Per-vertex local minimum outgoing edge, as an up-pass value
 /// `[weight, pack2(edge, partner fragment), 0]` (`[INF, MAX, 0]` if
-/// none).
-fn local_mwoe(g: &Graph, v: NodeId, frag: &[u64], nbr: &HashMap<NodeId, u64>) -> Val {
+/// none). `nbr_frag` is the vertex's slot-aligned [`NbrTable`] row.
+fn local_mwoe(g: &Graph, v: NodeId, frag: &[u64], nbr_frag: &[u64]) -> Val {
     let mut best: Val = [INF, Word::MAX, 0];
-    for &(u, w, e) in g.neighbors(v) {
-        let uf = *nbr.get(&u).expect("neighbor id exchanged");
+    for (i, &(_, w, e)) in g.neighbors(v).iter().enumerate() {
+        let uf = nbr_frag[i];
+        debug_assert_ne!(uf, u64::MAX, "neighbor id exchanged");
         if uf != frag[v] {
             let cand = [w, pack2(e as u64, uf), 0];
             if (cand[0], cand[1]) < (best[0], best[1]) {
@@ -247,131 +304,142 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
     let mut views: Vec<FragView> = vec![FragView::default(); n];
     let mut est: Vec<u64> = vec![0; n]; // meaningful at leaders
     let mut phase1_iterations = 0;
+    // Persistent neighbor-fragment table, shared by both phases.
+    let mut nbr_table = NbrTable::new(g);
 
-    if n > 1 {
-        loop {
-            phase1_iterations += 1;
-            // (a) neighbors learn each other's fragment ids.
-            let nbr = exchange_frag_ids(sim, &frag);
-            // (b) intra-fragment MWOE convergecast.
-            let frag_ref = &frag;
-            let nbr_ref = &nbr;
-            let (mwoe, _) = passes::up_pass(
-                sim,
-                &views,
-                |v| local_mwoe(g, v, frag_ref, &nbr_ref[v]),
-                min_by_weight_edge,
-            );
-            // (c) leaders pick a status and flood it with the MWOE.
-            let est_ref = &est;
-            let phase_salt = splitmix64(seed ^ (phase1_iterations as u64) << 17);
-            let (flood, _) = passes::flood_pass(sim, &views, |v| {
-                // only evaluated at fragment roots
-                let has_mwoe = mwoe[v][0] < INF;
-                let status = if !has_mwoe || est_ref[v] >= diam_cap {
-                    STATUS_FROZEN
-                } else if splitmix64(phase_salt ^ frag_ref[v]) & 1 == 1 {
-                    STATUS_HEAD
-                } else {
-                    STATUS_TAIL
-                };
-                let edge_word = if has_mwoe {
-                    unpack2(mwoe[v][1]).0
-                } else {
-                    Word::MAX
-                };
-                [status, edge_word, est_ref[v]]
-            });
-            let flood: Vec<Val> = flood
-                .into_iter()
-                .map(|o| o.expect("flood reaches all"))
-                .collect();
-            // (d) negotiate across MWOE edges.
-            let (negotiated, _) = sim.run(|v, _| {
-                let [status, mwoe_edge, fest] = flood[v];
-                let mut request = None;
-                if status == STATUS_TAIL && mwoe_edge != Word::MAX {
-                    for &(u, _, e) in g.neighbors(v) {
-                        if e as u64 == mwoe_edge && nbr[v][&u] != frag[v] {
-                            request = Some((u, frag[v], fest));
+    obs::span(sim, "grow", |sim| {
+        if n > 1 {
+            loop {
+                phase1_iterations += 1;
+                // (a) neighbors learn each other's fragment ids
+                // (incremental: only re-labeled vertices announce).
+                nbr_table.refresh(sim, &frag);
+                let nbr = &nbr_table.frag_at;
+                // (b) intra-fragment MWOE convergecast.
+                let frag_ref = &frag;
+                let (mwoe, _) = passes::up_pass(
+                    sim,
+                    &views,
+                    |v| local_mwoe(g, v, frag_ref, &nbr[v]),
+                    min_by_weight_edge,
+                );
+                // (c) leaders pick a status and flood it with the MWOE.
+                let est_ref = &est;
+                let phase_salt = splitmix64(seed ^ (phase1_iterations as u64) << 17);
+                let (flood, _) = passes::flood_pass(sim, &views, |v| {
+                    // only evaluated at fragment roots
+                    let has_mwoe = mwoe[v][0] < INF;
+                    let status = if !has_mwoe || est_ref[v] >= diam_cap {
+                        STATUS_FROZEN
+                    } else if splitmix64(phase_salt ^ frag_ref[v]) & 1 == 1 {
+                        STATUS_HEAD
+                    } else {
+                        STATUS_TAIL
+                    };
+                    let edge_word = if has_mwoe {
+                        unpack2(mwoe[v][1]).0
+                    } else {
+                        Word::MAX
+                    };
+                    [status, edge_word, est_ref[v]]
+                });
+                let flood: Vec<Val> = flood
+                    .into_iter()
+                    .map(|o| o.expect("flood reaches all"))
+                    .collect();
+                // (d) negotiate across MWOE edges.
+                let (negotiated, _) = sim.run(|v, _| {
+                    let [status, mwoe_edge, fest] = flood[v];
+                    let mut request = None;
+                    if status == STATUS_TAIL && mwoe_edge != Word::MAX {
+                        for (i, &(u, _, e)) in g.neighbors(v).iter().enumerate() {
+                            if e as u64 == mwoe_edge && nbr[v][i] != frag[v] {
+                                request = Some((u, frag[v], fest));
+                            }
+                        }
+                    }
+                    Negotiate {
+                        request,
+                        status,
+                        frag: frag[v],
+                        accepted: Vec::new(),
+                        merge_into: None,
+                    }
+                });
+                // (e) diameter-bump convergecast over the (old) head trees.
+                let (bump, _) = passes::up_pass(
+                    sim,
+                    &views,
+                    |v| {
+                        let b = negotiated[v]
+                            .0
+                            .iter()
+                            .map(|&(_, e)| e + 1)
+                            .max()
+                            .unwrap_or(0);
+                        [b, 0, 0]
+                    },
+                    |a, b| [a[0].max(b[0]), 0, 0],
+                );
+                // (f) relabel/re-root flood inside merged tails.
+                let (relabels, _) = sim.run(|v, _| Relabel {
+                    start: negotiated[v].1,
+                    tree_neighbors: views[v].tree_neighbors.clone(),
+                    adopted: None,
+                });
+                // (g) local state updates (free).
+                for v in 0..n {
+                    for &(suitor, _) in &negotiated[v].0 {
+                        views[v].tree_neighbors.push(suitor);
+                    }
+                }
+                for v in 0..n {
+                    if let Some((new_frag, new_parent)) = relabels[v] {
+                        frag[v] = new_frag;
+                        views[v].parent = new_parent;
+                        if let Some((_, partner)) = negotiated[v].1 {
+                            if !views[v].tree_neighbors.contains(&partner) {
+                                views[v].tree_neighbors.push(partner);
+                            }
                         }
                     }
                 }
-                Negotiate {
-                    request,
-                    status,
-                    frag: frag[v],
-                    accepted: Vec::new(),
-                    merge_into: None,
-                }
-            });
-            // (e) diameter-bump convergecast over the (old) head trees.
-            let (bump, _) = passes::up_pass(
-                sim,
-                &views,
-                |v| {
-                    let b = negotiated[v]
-                        .0
-                        .iter()
-                        .map(|&(_, e)| e + 1)
-                        .max()
-                        .unwrap_or(0);
-                    [b, 0, 0]
-                },
-                |a, b| [a[0].max(b[0]), 0, 0],
-            );
-            // (f) relabel/re-root flood inside merged tails.
-            let (relabels, _) = sim.run(|v, _| Relabel {
-                start: negotiated[v].1,
-                tree_neighbors: views[v].tree_neighbors.clone(),
-                adopted: None,
-            });
-            // (g) local state updates (free).
-            for v in 0..n {
-                for &(suitor, _) in &negotiated[v].0 {
-                    views[v].tree_neighbors.push(suitor);
-                }
-            }
-            for v in 0..n {
-                if let Some((new_frag, new_parent)) = relabels[v] {
-                    frag[v] = new_frag;
-                    views[v].parent = new_parent;
-                    if let Some((_, partner)) = negotiated[v].1 {
-                        if !views[v].tree_neighbors.contains(&partner) {
-                            views[v].tree_neighbors.push(partner);
-                        }
+                for v in 0..n {
+                    if views[v].parent.is_none() && bump[v][0] > 0 {
+                        est[v] += 2 * bump[v][0];
                     }
                 }
-            }
-            for v in 0..n {
-                if views[v].parent.is_none() && bump[v][0] > 0 {
-                    est[v] += 2 * bump[v][0];
+                // (h) global termination census (leaders report). Sums
+                // are not idempotent, so this stays on the watermark
+                // convergecast (see `converge_merged`'s merge law).
+                let views_ref = &views;
+                let flood_ref = &flood;
+                let (census, _) = collective::converge_sum(sim, tau, |v| {
+                    if views_ref[v].parent.is_none() {
+                        let active = (flood_ref[v][0] != STATUS_FROZEN
+                            && flood_ref[v][1] != Word::MAX)
+                            as u64;
+                        vec![(0, [1, active])]
+                    } else {
+                        Vec::new()
+                    }
+                });
+                let [fragments, active] = census.get(&0).copied().unwrap_or([0, 0]);
+                if fragments <= target_frags as u64
+                    || active == 0
+                    || phase1_iterations >= max_phase1
+                {
+                    break;
                 }
-            }
-            // (h) global termination census (leaders report).
-            let frag_ref = &frag;
-            let views_ref = &views;
-            let flood_ref = &flood;
-            let (census, _) = collective::converge_sum(sim, tau, |v| {
-                if views_ref[v].parent.is_none() {
-                    let active =
-                        (flood_ref[v][0] != STATUS_FROZEN && flood_ref[v][1] != Word::MAX) as u64;
-                    vec![(0, [1, active])]
-                } else {
-                    Vec::new()
-                }
-            });
-            let _ = frag_ref;
-            let [fragments, active] = census.get(&0).copied().unwrap_or([0, 0]);
-            if fragments <= target_frags as u64 || active == 0 || phase1_iterations >= max_phase1 {
-                break;
             }
         }
-    }
+    });
 
     // Base fragment structure is frozen here.
     let base_fragment_of = frag.clone();
     let base_views = views.clone();
+    // One leader (parent-less vertex) per base fragment.
+    let fragments = (0..n).filter(|&v| base_views[v].parent.is_none()).count();
 
     // ------------------------------------------------------------------
     // Phase 2: global pipelined Borůvka on the fragment graph.
@@ -379,11 +447,18 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
     let mut external_edges: Vec<EdgeId> = Vec::new();
     let mut chosen_set: HashSet<EdgeId> = HashSet::new();
     let mut phase2_iterations = 0;
-    loop {
+    obs::span(sim, "merge", |sim| loop {
         phase2_iterations += 1;
-        let nbr = exchange_frag_ids(sim, &frag);
+        nbr_table.refresh(sim, &frag);
+        let nbr = &nbr_table.frag_at;
         let frag_ref = &frag;
-        let (map, _) = collective::converge(
+        // Per-fragment MWOEs merge *in flight* through the eager
+        // combiner-aware convergecast: the lexicographic (weight, edge)
+        // min is a lawful semilattice merge, and the root map is
+        // key-for-key identical to the watermark `converge`'s, so the
+        // union-find replay below — and the MST — is bit-identical to
+        // the pre-pipelined construction.
+        let (map, _) = collective::converge_merged(
             sim,
             tau,
             |v| {
@@ -402,14 +477,11 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
                 }
             },
         );
-        let items: Vec<collective::Item> = map.iter().map(|(&k, &v)| (k, v)).collect();
-        if items.is_empty() {
+        if map.is_empty() {
             break; // single fragment: MST complete
         }
-        let (received, _) = collective::broadcast(sim, tau, items.clone());
-        debug_assert!(received.iter().all(|r| r.len() == items.len()));
-        // Deterministic local merge computation (identical at every
-        // vertex; performed once here on their behalf).
+        // Deterministic merge resolution (identical at every vertex;
+        // performed once here on their behalf, in key order).
         let mut rep: BTreeMap<u64, u64> = BTreeMap::new();
         let find = |rep: &mut BTreeMap<u64, u64>, mut x: u64| {
             while rep.get(&x).copied().unwrap_or(x) != x {
@@ -417,7 +489,7 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
             }
             x
         };
-        for &(frag_a, [_, packed]) in &items {
+        for (&frag_a, &[_, packed]) in &map {
             let (edge, frag_b) = unpack2(packed);
             let (ra, rb) = (find(&mut rep, frag_a), find(&mut rep, frag_b));
             if ra != rb {
@@ -428,14 +500,38 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
                 external_edges.push(edge as EdgeId);
             }
         }
+        // Instead of broadcasting every chosen edge to every vertex,
+        // the root unicasts each *changed* component id to the affected
+        // base-fragment leaders (members of a base fragment always share
+        // their phase-2 id), and a selective flood spreads it inside
+        // exactly those fragments.
+        let mut relabel_items: Vec<(NodeId, collective::Item)> = Vec::new();
+        for v in 0..n {
+            if base_views[v].parent.is_none() {
+                let new = find(&mut rep, frag[v]);
+                if new != frag[v] {
+                    relabel_items.push((v, (v as u64, [new, 0])));
+                }
+            }
+        }
+        let (newid, _) = collective::downcast(sim, tau, relabel_items);
+        let newid_ref = &newid;
+        let (flooded, _) = passes::flood_pass_opt(sim, &base_views, |v| {
+            newid_ref[v].first().map(|&(_, [f, _])| [f, 0, 0])
+        });
         for v in 0..n {
             frag[v] = find(&mut rep, frag[v]);
+            debug_assert_eq!(
+                flooded[v].map(|val| val[0]).unwrap_or(frag[v]),
+                frag[v],
+                "flooded relabel disagrees with the replay"
+            );
         }
         assert!(
             phase2_iterations <= 2 * usize::BITS as usize,
             "phase 2 failed to converge — disconnected graph?"
         );
-    }
+    });
 
     // Assemble the MST edge set: internal (fragment tree) + external.
     let mut mst_edges: Vec<EdgeId> = Vec::with_capacity(n.saturating_sub(1));
@@ -472,6 +568,7 @@ pub fn distributed_mst(sim: &mut impl Executor, tau: &BfsTree, rt: NodeId, seed:
         phase1_iterations,
         phase2_iterations,
         stats,
+        fragments,
     }
 }
 

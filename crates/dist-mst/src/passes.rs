@@ -235,10 +235,29 @@ pub fn flood_pass(
     views: &[FragView],
     root_val: impl Fn(NodeId) -> Val,
 ) -> (Vec<Option<Val>>, RunStats) {
+    flood_pass_opt(sim, views, |v| Some(root_val(v)))
+}
+
+/// Selective [`flood_pass`]: only fragments whose root returns
+/// `Some(val)` flood; the others stay silent and their vertices spend no
+/// messages (and return `None`). Used by the global Borůvka phase to
+/// re-label only the fragments whose component id actually changed.
+pub fn flood_pass_opt(
+    sim: &mut impl Executor,
+    views: &[FragView],
+    root_val: impl Fn(NodeId) -> Option<Val>,
+) -> (Vec<Option<Val>>, RunStats) {
     let children: Vec<Vec<NodeId>> = views.iter().map(FragView::children).collect();
-    let (out, stats) = down_pass(sim, views, root_val, |v| {
+    let (out, stats) = sim.run(|v, _| {
+        let start = views[v].parent.is_none().then(|| root_val(v)).flatten();
         let ch = children[v].clone();
-        move |_, val| ch.iter().map(|&c| (c, val)).collect()
+        DownProgram {
+            is_root: start.is_some(),
+            root_val: start.unwrap_or_default(),
+            derive: move |_, val| ch.iter().map(|&c| (c, val)).collect::<ChildPayloads>(),
+            fired: false,
+            received: Vec::new(),
+        }
     });
     (
         out.into_iter()

@@ -314,7 +314,11 @@ pub fn drive<E: Executor>(
             (exec.total(), "weight", m.weight)
         }
         "slt" => {
-            let (tau, _) = build_bfs_tree(exec, 0);
+            // Named sub-span: after the tour/Borůvka message-wall fix
+            // the BFS-tree build is no longer rounding error next to
+            // the other phases, and the pinned span tree accounts for
+            // every major phase by name.
+            let (tau, _) = obs::span(exec, "tau", |exec| build_bfs_tree(exec, 0));
             let slt = shallow_light_tree_with(exec, &tau, 0, p.eps, seed, p.landmarks, p.hop_bound);
             (exec.total(), "breakpoints", slt.breakpoints as u64)
         }

@@ -348,15 +348,33 @@ proptest! {
 
     #[test]
     fn prop_euler_tour_identical((g, seed) in arb_graph()) {
+        use congest::obs;
         let mut sim = Simulator::new(&g);
-        let (tau, _) = build_bfs_tree(&mut sim, 0);
-        let mst_s = distributed_mst(&mut sim, &tau, 0, seed);
-        let ts = distributed_euler_tour(&mut sim, &tau, &mst_s, 0);
+        let (ts, tree_s) = obs::collect_spans(|| {
+            let (tau, _) = build_bfs_tree(&mut sim, 0);
+            let mst_s = distributed_mst(&mut sim, &tau, 0, seed);
+            distributed_euler_tour(&mut sim, &tau, &mst_s, 0)
+        });
+        // The batched-contraction tour must still equal the sequential
+        // Section-3 tour of the (unique) MST, not just agree with itself
+        // across engines.
+        {
+            let mut ref_sim = Simulator::new(&g);
+            let (tau, _) = build_bfs_tree(&mut ref_sim, 0);
+            let mst = distributed_mst(&mut ref_sim, &tau, 0, seed);
+            let t = lightgraph::tree::RootedTree::from_edge_ids(&g, &mst.mst_edges, 0);
+            let reference = t.euler_tour();
+            let (seq, times) = ts.assemble();
+            prop_assert_eq!(&seq, &reference.seq, "tour sequence vs sequential reference");
+            prop_assert_eq!(&times, &reference.times, "tour times vs sequential reference");
+        }
         for threads in THREADS_HEAVY {
             let mut eng = Engine::with_threads(&g, threads);
-            let (tau_e, _) = build_bfs_tree(&mut eng, 0);
-            let mst_e = distributed_mst(&mut eng, &tau_e, 0, seed);
-            let te = distributed_euler_tour(&mut eng, &tau_e, &mst_e, 0);
+            let (te, tree_e) = obs::collect_spans(|| {
+                let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+                let mst_e = distributed_mst(&mut eng, &tau_e, 0, seed);
+                distributed_euler_tour(&mut eng, &tau_e, &mst_e, 0)
+            });
             prop_assert_eq!(&ts.appearances, &te.appearances, "appearances (threads={})", threads);
             prop_assert_eq!(ts.total_length, te.total_length, "tour length (threads={})", threads);
             prop_assert_eq!(ts.stats, te.stats, "stats (threads={})", threads);
@@ -365,6 +383,24 @@ proptest! {
                 Executor::total(&eng),
                 "cumulative totals (threads={})", threads
             );
+            // Full span tree (grow/merge under mst; frag_tree/reroot/
+            // times/indices under tour) must be bit-identical in every
+            // deterministic column.
+            let fs = tree_s.flatten();
+            let fe = tree_e.flatten();
+            prop_assert_eq!(fs.len(), fe.len(), "span count (threads={})", threads);
+            for ((ps, node_s), (pe, node_e)) in fs.iter().zip(&fe) {
+                prop_assert_eq!(ps, pe, "span path (threads={})", threads);
+                prop_assert_eq!(node_s.stats, node_e.stats, "span stats at {} (threads={})", ps, threads);
+                prop_assert_eq!(
+                    node_s.invocations, node_e.invocations,
+                    "invocations at {} (threads={})", ps, threads
+                );
+                prop_assert_eq!(
+                    node_s.sched_rounds, node_e.sched_rounds,
+                    "sched_rounds at {} (threads={})", ps, threads
+                );
+            }
         }
     }
 
@@ -898,6 +934,49 @@ proptest! {
     }
 }
 
+/// The batched-contraction tour on *structured* graphs — path (deep
+/// fragment chains), star (one giant fragment), grid (many same-size
+/// fragments), caterpillar and comb (skewed child lists), tree+chords
+/// (MST ≠ BFS tree) — is bit-identical across engines and equal to the
+/// sequential Section-3 tour. Complements `prop_euler_tour_identical`,
+/// which only samples random instances.
+#[test]
+fn euler_tour_structured_graphs_match_sequential_reference() {
+    let cases: Vec<(&str, Graph)> = vec![
+        ("path", generators::path(64, 3)),
+        ("star", generators::star(33, 20, 5)),
+        ("grid", generators::grid(8, 9, 20, 5)),
+        ("caterpillar", generators::caterpillar(12, 3, 5)),
+        ("comb", generators::comb(10, 4)),
+        ("tree-chords", generators::tree_plus_chords(60, 20, 30, 5)),
+    ];
+    for (name, g) in cases {
+        let mut sim = Simulator::new(&g);
+        let (tau, _) = build_bfs_tree(&mut sim, 0);
+        let mst = distributed_mst(&mut sim, &tau, 0, 7);
+        let ts = distributed_euler_tour(&mut sim, &tau, &mst, 0);
+
+        let t = lightgraph::tree::RootedTree::from_edge_ids(&g, &mst.mst_edges, 0);
+        let reference = t.euler_tour();
+        let (seq, times) = ts.assemble();
+        assert_eq!(seq, reference.seq, "[{name}] tour sequence");
+        assert_eq!(times, reference.times, "[{name}] tour times");
+        assert_eq!(ts.total_length, 2 * mst.weight, "[{name}] total length");
+
+        let mut eng = Engine::with_threads(&g, 4);
+        let (tau_e, _) = build_bfs_tree(&mut eng, 0);
+        let mst_e = distributed_mst(&mut eng, &tau_e, 0, 7);
+        let te = distributed_euler_tour(&mut eng, &tau_e, &mst_e, 0);
+        assert_eq!(ts.appearances, te.appearances, "[{name}] appearances");
+        assert_eq!(ts.stats, te.stats, "[{name}] stats");
+        assert_eq!(
+            Executor::total(&sim),
+            Executor::total(&eng),
+            "[{name}] cumulative totals"
+        );
+    }
+}
+
 /// Pinned SLT span tree at the bench workload shape (geometric n=1k,
 /// seed 1): every major phase appears as a named span, the tree
 /// attributes at least 95% of the root's delivered messages to named
@@ -919,7 +998,16 @@ fn slt_span_tree_is_pinned_and_engine_identical() {
     assert_eq!(rs.2, re.2, "metric identical under span collection");
 
     let root = tree_s.find("slt").expect("root span");
-    for phase in ["mst", "tour", "spt", "bp1", "bp2", "mark", "final_spt"] {
+    for phase in [
+        "tau",
+        "mst",
+        "tour",
+        "spt",
+        "bp1",
+        "bp2",
+        "mark",
+        "final_spt",
+    ] {
         assert!(
             tree_s.find(phase).is_some(),
             "phase `{phase}` missing from the span tree"

@@ -1,7 +1,9 @@
 //! Large-n scaling smoke: 100k-node geometric BFS through the
-//! grid-bucketed generator and the parallel engine, plus the 8k-node
+//! grid-bucketed generator and the parallel engine, the 8k-node
 //! geometric SLT that the keyed-relaxation subsystem and the adaptive
-//! landmark cutoff made feasible.
+//! landmark cutoff made feasible, and the 64k-node SLT that the
+//! batched-contraction Euler tour and the pipelined Borůvka merge
+//! made feasible.
 //!
 //! `#[ignore]`d so `cargo test` stays fast; the CI `large-smoke` job
 //! (nightly-style schedule) runs them with `--include-ignored` so a
@@ -84,4 +86,39 @@ fn geometric_8k_slt_end_to_end() {
         "SLT@8k delivered {delivered} messages — relaxation-volume regression?"
     );
     assert!(wall < 300.0, "SLT@8k took {wall:.0}s — scaling regression?");
+}
+
+#[test]
+#[ignore = "large-n smoke (64k geometric SLT); nightly CI runs it with --include-ignored"]
+fn geometric_64k_slt_end_to_end() {
+    let n = 64_000;
+    let radius = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+    let g = generators::random_geometric(n, radius, 1);
+    assert!(g.is_connected(), "generator must stitch components");
+
+    let mut eng = Engine::with_threads(&g, 4);
+    let (tau, _) = build_bfs_tree(&mut eng, 0);
+    let start = Instant::now();
+    let slt = shallow_light_tree(&mut eng, &tau, 0, 0.5, 1);
+    let wall = start.elapsed().as_secs_f64();
+
+    assert_eq!(slt.edges.len(), n - 1, "SLT must be a spanning tree");
+    assert!(slt.breakpoints > 0);
+    let h = g.edge_subgraph_dedup(slt.edges.iter().copied());
+    assert!(h.is_connected());
+    // This size exists because the batched-contraction Euler tour and
+    // the pipelined Borůvka merge broke the MST/tour message wall:
+    // the old broadcast-everything tour alone would have delivered
+    // >10⁹ messages here. The run lands at ~18.4M delivered (pinned
+    // exactly in BENCH_engine.json); a generous ceiling still catches
+    // a regression back toward per-fragment broadcasts.
+    let delivered = Executor::total(&eng).messages_delivered();
+    assert!(
+        delivered < 60_000_000,
+        "SLT@64k delivered {delivered} messages — MST/tour message-wall regression?"
+    );
+    assert!(
+        wall < 600.0,
+        "SLT@64k took {wall:.0}s — scaling regression?"
+    );
 }
