@@ -61,6 +61,31 @@
 //!    runs; anything pinning observability output must scrub exactly
 //!    those. Observers must never deliver, reorder, combine, or drop a
 //!    message, and never change the active set.
+//! 9. **Round fusion.** An engine may execute several *consecutive*
+//!    rounds of a node region without globally synchronizing between
+//!    them, provided the fused window is closed: every node that can
+//!    become active during the window, and every directed edge that
+//!    can carry or receive traffic during it, lies strictly inside one
+//!    region. The eligibility predicate the parallel engine uses is
+//!    distance-based: if every potentially-active node (charged-edge
+//!    receivers plus the non-quiescent carryover) sits at intra-region
+//!    BFS distance `>= K` from the nearest node with an edge leaving
+//!    the region, then activity cannot reach a region boundary for `K`
+//!    rounds — senders stay non-boundary, so no cross-region message
+//!    is ever staged, and each region's `K` rounds are an independent
+//!    function of its own state. Fusion is schedule-invisible because
+//!    clauses 3–5 are schedule-independent: per-edge FIFO order equals
+//!    the unique sender's staged order, inbox order is the ascending
+//!    directed-id walk, and the active set is a function of deliveries
+//!    and quiescence reports — none of which observe *when* another
+//!    region's round ran. Per-round accounting (clauses 6–8, including
+//!    per-round histogram/trace series) must still be reported as if
+//!    the global barriers had happened; only barrier wall-time may
+//!    legitimately drop to zero for fused rounds. The predicate and
+//!    its proof obligations are property-tested in
+//!    `crates/engine/tests/equivalence.rs` (fusion-heavy chain
+//!    workloads) and documented in `crates/engine/src/csr.rs`
+//!    (`ShardLocality`).
 //!
 //! Any engine honoring 1–7 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the

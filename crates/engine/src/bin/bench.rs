@@ -27,9 +27,21 @@
 //! engine-identical,
 //! so any diff against `BENCH_engine.json` is a real behavior change —
 //! a silent message-volume or invocation regression fails the PR.
-//! Wall-clock columns (`wall_ms`, `rounds_per_sec`, `msgs_per_sec`)
-//! are machine-dependent and never compared. After an *intentional*
-//! change, regenerate the baseline by running `bench` without flags.
+//! Wall-clock columns (`wall_ms`, `rounds_per_sec`, `msgs_per_sec`,
+//! `speedup_vs_1`) are machine-dependent and never compared. After an
+//! *intentional* change, regenerate the baseline by running `bench`
+//! without flags.
+//!
+//! **Scaling section.** Every run additionally sweeps one pinned
+//! workload (SLT@64k, or SLT@8k under `--quick`) over
+//! `threads ∈ {1, 2, 4}` and emits a `"scaling"` array pinning the
+//! speedup curve. The deterministic columns of every scaling row are
+//! verified *at runtime* against the `threads = 1` row — a cross-thread
+//! determinism violation aborts the bench with exit 1 before any file
+//! is written — and `--check` additionally diffs them against the
+//! committed baseline (scaling rows resolve to the same
+//! family/algorithm/n baseline line as the main workload row, which is
+//! exactly the cross-thread bit-identity the contract promises).
 //!
 //! The workload set is pinned — same families, sizes and seeds every
 //! run — so successive JSON snapshots are comparable:
@@ -90,8 +102,14 @@ const QUICK: [(&str, &str, usize); 4] = [
 
 const SEED: u64 = 1;
 
+/// Thread counts the scaling sweep pins (the workload is SLT@64k, or
+/// SLT@8k under `--quick`). The `threads = 1` row doubles as the
+/// determinism reference the other rows are diffed against at runtime.
+const SCALING_THREADS: [usize; 3] = [1, 2, 4];
+
 /// Deterministic result columns of one workload run — everything the
 /// `--check` gate compares.
+#[derive(Clone)]
 struct Entry {
     family: &'static str,
     algorithm: &'static str,
@@ -146,6 +164,26 @@ impl Entry {
             metric = self.metric,
         )
     }
+
+    /// The contract-pinned columns the `--check` gate (and the runtime
+    /// cross-thread identity check) compares. Wall-derived columns are
+    /// deliberately absent.
+    fn det_columns(&self) -> [(&'static str, u64); 12] {
+        [
+            ("m", self.m as u64),
+            ("rounds", self.rounds),
+            ("messages", self.messages),
+            ("messages_combined", self.messages_combined),
+            ("messages_delivered", self.messages_delivered),
+            ("invocations", self.invocations),
+            ("active_peak", self.active_peak),
+            ("msg_max_node", self.msg_max_node),
+            ("msg_max", self.msg_max),
+            ("msg_p50", self.msg_p50),
+            ("msg_p99", self.msg_p99),
+            ("metric", self.metric),
+        ]
+    }
 }
 
 /// Extracts `"key":<integer>` from a baseline JSON line.
@@ -185,21 +223,7 @@ fn check_against_baseline(entries: &[Entry], baseline: &str) -> (Vec<String>, Ve
             ));
             continue;
         };
-        let columns: [(&str, u64); 12] = [
-            ("m", e.m as u64),
-            ("rounds", e.rounds),
-            ("messages", e.messages),
-            ("messages_combined", e.messages_combined),
-            ("messages_delivered", e.messages_delivered),
-            ("invocations", e.invocations),
-            ("active_peak", e.active_peak),
-            ("msg_max_node", e.msg_max_node),
-            ("msg_max", e.msg_max),
-            ("msg_p50", e.msg_p50),
-            ("msg_p99", e.msg_p99),
-            ("metric", e.metric),
-        ];
-        for (key, got) in columns {
+        for (key, got) in e.det_columns() {
             match json_u64(line, key) {
                 Some(want) if want == got => {}
                 want => drifts.push(Drift {
@@ -289,11 +313,10 @@ fn main() {
 
     let params = AlgoParams::default();
 
-    let mut entries: Vec<Entry> = Vec::new();
-    for (family, algorithm, n) in workloads {
-        eprintln!("bench: {family} {algorithm} n={n} ...");
+    let run_one = |family: &'static str, algorithm: &'static str, n: usize, nthreads: usize| {
+        eprintln!("bench: {family} {algorithm} n={n} threads={nthreads} ...");
         let g = build_graph(family, n, 100, SEED).expect("pinned family");
-        let mut eng = Engine::with_threads(&g, threads);
+        let mut eng = Engine::with_threads(&g, nthreads);
         eng.set_record_node_stats(true);
         eng.set_trace(trace.clone());
         let start = Instant::now();
@@ -328,7 +351,7 @@ fn main() {
             frontier.invocations,
             dense as f64 / frontier.invocations.max(1) as f64,
         );
-        entries.push(Entry {
+        Entry {
             family,
             algorithm,
             n,
@@ -347,17 +370,80 @@ fn main() {
             msg_p50: summary.msg_p50,
             msg_p99: summary.msg_p99,
             wall,
-        });
+        }
+    };
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for (family, algorithm, n) in workloads {
+        entries.push(run_one(family, algorithm, n, threads));
+    }
+
+    // Scaling sweep: one pinned workload over SCALING_THREADS. The main
+    // run at the matching thread count is reused rather than re-run.
+    let (sf, sa, sn): (&'static str, &'static str, usize) = if quick {
+        ("geometric", "slt", 8_000)
+    } else {
+        ("geometric", "slt", 64_000)
+    };
+    let mut scaling: Vec<(usize, Entry)> = Vec::new();
+    for &t in &SCALING_THREADS {
+        let reused = (t == threads)
+            .then(|| {
+                entries
+                    .iter()
+                    .find(|e| (e.family, e.algorithm, e.n) == (sf, sa, sn))
+            })
+            .flatten()
+            .cloned();
+        scaling.push((t, reused.unwrap_or_else(|| run_one(sf, sa, sn, t))));
+    }
+
+    // Cross-thread bit-identity: every deterministic column of every
+    // scaling row must equal the threads=1 row. This is the contract's
+    // acceptance check, enforced on every bench run (including --check),
+    // before any output file is written.
+    let (t0, base) = (&scaling[0].0, scaling[0].1.clone());
+    let mut violated = false;
+    for (t, e) in scaling.iter().skip(1) {
+        for ((key, want), (_, got)) in base.det_columns().iter().zip(e.det_columns()) {
+            if *want != got {
+                eprintln!(
+                    "bench: DETERMINISM VIOLATION — {sf} {sa} n={sn}: column {key} is {want} \
+                     at threads={t0} but {got} at threads={t}"
+                );
+                violated = true;
+            }
+        }
+    }
+    if violated {
+        eprintln!("bench: cross-thread determinism violated; refusing to write results");
+        std::process::exit(1);
+    }
+    let base_wall = base.wall;
+    for (t, e) in &scaling {
+        eprintln!(
+            "bench: scaling {sf} {sa} n={sn} threads={t}: {:.1}s ({:.2}x vs 1 thread)",
+            e.wall,
+            base_wall / e.wall.max(1e-9),
+        );
     }
 
     if let Some(path) = check_path {
         let baseline = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
-        let (missing, drifts) = check_against_baseline(&entries, &baseline);
+        // Scaling rows share the baseline line of the matching main
+        // workload (first match by family/algorithm/n — the "workloads"
+        // array precedes "scaling" in the file), so each multi-thread
+        // run is gated against the single-thread committed numbers.
+        let mut gated = entries.clone();
+        gated.extend(scaling.iter().map(|(_, e)| e.clone()));
+        let (missing, drifts) = check_against_baseline(&gated, &baseline);
         if missing.is_empty() && drifts.is_empty() {
             eprintln!(
-                "bench: OK — {} workloads match the deterministic columns of {path}",
-                entries.len()
+                "bench: OK — {} workloads (+{} scaling rows) match the deterministic \
+                 columns of {path}",
+                entries.len(),
+                scaling.len(),
             );
             return;
         }
@@ -373,16 +459,30 @@ fn main() {
         std::process::exit(1);
     }
 
+    // "scaling" must stay AFTER "workloads": the --check tag lookup is
+    // first-match, and scaling rows are gated against the main rows.
+    let scaling_json = scaling
+        .iter()
+        .map(|(t, e)| {
+            let row = e.to_json(*t);
+            let speedup = base_wall / e.wall.max(1e-9);
+            format!("{},\"speedup_vs_1\":{speedup:.2}}}", &row[..row.len() - 1])
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": 3,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
+        "{{\n  \"schema\": 4,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
          invocations_dense = rounds * n is the pre-frontier-scheduling cost; \
-         messages_delivered = messages - messages_combined is the post-combining volume\",\n  \
-         \"workloads\": [\n{}\n  ]\n}}\n",
+         messages_delivered = messages - messages_combined is the post-combining volume; \
+         scaling sweeps one workload over thread counts (wall columns are machine-dependent, \
+         deterministic columns are bit-identical across threads by contract)\",\n  \
+         \"workloads\": [\n{}\n  ],\n  \"scaling\": [\n{}\n  ]\n}}\n",
         entries
             .iter()
             .map(|e| e.to_json(threads))
             .collect::<Vec<_>>()
-            .join(",\n")
+            .join(",\n"),
+        scaling_json,
     );
     let mut f = std::fs::File::create(&out_path)
         .unwrap_or_else(|e| panic!("cannot create {out_path}: {e}"));

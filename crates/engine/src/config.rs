@@ -314,7 +314,7 @@ mod tests {
     const SAMPLE: &str = r#"
 # global settings
 seed = 42
-threads = 0          # 0 = auto
+threads = 2          # worker threads
 label = "smoke"
 verbose = true
 ratio = 0.75
@@ -337,7 +337,7 @@ eps = 0.5
     fn parses_the_scenario_shape() {
         let doc = parse(SAMPLE).unwrap();
         assert_eq!(doc.root.int_or("seed", 0), 42);
-        assert_eq!(doc.root.int_or("threads", 9), 0);
+        assert_eq!(doc.root.int_or("threads", 9), 2);
         assert_eq!(doc.root.str_or("label", ""), "smoke");
         assert!(doc.root.bool_or("verbose", false));
         assert_eq!(doc.root.f64_or("ratio", 0.0), 0.75);

@@ -2,61 +2,78 @@
 //!
 //! # Execution model
 //!
-//! Nodes are split into `threads` contiguous shards, balanced by
-//! degree (prefix-sum cuts of `1 + deg(v)`), so per-shard deliver and
-//! compute work is even on skewed graphs. Every round runs two phases
-//! separated by barriers:
+//! Nodes are split into contiguous **shards**, balanced by degree
+//! (prefix-sum cuts of `1 + deg(v)`). With `threads > 1` the engine
+//! *overshards* (`OVERSHARD ×` more shards than workers) and workers
+//! claim shards dynamically per phase via a per-shard epoch CAS — a
+//! work-stealing schedule, so a skewed frontier that lands in one
+//! static shard no longer serializes the round. Workers come from a
+//! persistent [`WorkerPool`] (spawned once, parked between runs, shared
+//! with sub-executors), not from per-run thread spawns.
 //!
-//! * **deliver** — each worker pops up to `cap` messages from every
-//!   *charged* incoming directed-edge queue of its *own* nodes into a
-//!   worker-local inbox arena. A directed edge has exactly one
-//!   receiver, so queue access is disjoint across workers.
-//! * **compute** — each worker runs `Program::round` for its own
+//! Every classic round runs two phases separated by barriers:
+//!
+//! * **deliver** — the claimer of shard `s` pops up to `cap` messages
+//!   from every *charged* incoming directed-edge queue of the shard's
+//!   nodes into the shard's inbox arena. A directed edge has exactly
+//!   one receiver, so queue access is disjoint across shards.
+//! * **compute** — the claimer runs `Program::round` for the shard's
 //!   *active* nodes and pushes staged sends onto the outgoing
-//!   directed-edge queues of its nodes. A directed edge has exactly
-//!   one sender, so access is again disjoint.
+//!   directed-edge queues. A directed edge has exactly one sender, so
+//!   access is again disjoint.
+//!
+//! # Round fusion (contract clause 9)
+//!
+//! When every node that can become active in the next round lies at
+//! intra-shard BFS distance `K >= 1` from its shard boundary (see
+//! [`ShardLocality`]), the next `K` rounds cannot move any message
+//! across a shard boundary: active nodes are non-boundary, so all
+//! their incident edges are shard-internal, and activity can creep at
+//! most one hop toward the boundary per round. The engine then runs a
+//! **fused block** of `B = min(K, FUSE_BLOCK_MAX)` rounds in which
+//! each shard executes deliver+compute locally, *without any global
+//! barrier*, stopping early when it has no charged edges, no bucket
+//! entries, and no non-quiescent carryover. Per-edge FIFO order is
+//! schedule-independent (unique sender, unique receiver), so the fused
+//! schedule is observably identical to the barriered one; per-round
+//! accounting (`RunStats`, histograms, traces) is kept exact by
+//! per-shard per-round [`FusedRound`] records that worker 0 merges at
+//! the next decision point. With one shard (`threads == 1`) every node
+//! is infinitely far from a boundary, so whole runs execute as fused
+//! blocks — eliding the per-round atomics and decision overhead.
 //!
 //! # Frontier scheduling
 //!
 //! The engine implements the activation contract of `congest::exec`
 //! (clause 5): per-round cost scales with the frontier, not with `n`
-//! or `m`.
-//!
-//! * **Touched-edge queues.** `charged[d]` tracks whether directed
-//!   queue `d` is non-empty. A sender that charges an idle queue
-//!   appends `d` to a `touched[sender_worker][receiver_worker]` bucket;
-//!   during deliver each worker drains the buckets addressed to it,
-//!   merges them with its still-charged carryover, and visits only
-//!   those queues — in `(receiver, directed id)` order, which is the
-//!   simulator's inbox order per node. Bucket rows are written by one
-//!   sender worker during compute and bucket columns drained by one
-//!   receiver worker during deliver, so access stays disjoint.
-//! * **Active lists.** Each worker runs `Program::round` only for the
-//!   merge of (a) its nodes that received messages this round and (b)
-//!   its non-quiescent carryover from the previous round, re-querying
-//!   `is_quiescent` only for those nodes. Quiescence detection folds
-//!   into this bookkeeping: a shared non-quiescent counter replaces the
-//!   old full `is_quiescent` sweep, and the round loop stops when the
-//!   pending-message and non-quiescent counters are both zero.
+//! or `m`. `charged[d]` tracks whether directed queue `d` is
+//! non-empty; a sender that charges an idle queue appends `d` to a
+//! `touched[sender_shard][receiver_shard]` bucket, and deliver visits
+//! only bucket entries plus still-charged carryover, in
+//! `(receiver, directed id)` order — the simulator's inbox order.
+//! Compute runs only nodes that received messages or stayed
+//! non-quiescent; a shared non-quiescent counter replaces full
+//! `is_quiescent` sweeps.
 //!
 //! # Why this is deterministic
 //!
 //! The sequential simulator's only ordering guarantees are (a) per
 //! directed edge FIFO and (b) inboxes ordered by directed edge id.
-//! Both survive parallelization for free: every directed-edge queue has
-//! a *unique* sender (so FIFO order equals that sender's staged order,
-//! regardless of node interleaving), and each worker assembles its
-//! nodes' inboxes by walking its charged incoming edges in ascending
-//! directed id order — the sequential delivery order. The active sets
-//! are themselves deterministic (delivered edges + quiescence reports),
-//! so frontier scheduling changes which nodes are *ticked*, never what
-//! they observe. No message ever races: the deliver and compute phases
-//! are barrier-separated, and within a phase every queue is touched by
-//! exactly one worker. The result is bit-identical outputs and
-//! [`RunStats`] versus [`congest::Simulator`], verified by property
-//! tests.
+//! Both survive parallelization for free: every directed-edge queue
+//! has a *unique* sender (so FIFO order equals that sender's staged
+//! order, regardless of node interleaving), and each shard assembles
+//! its nodes' inboxes by walking its charged incoming edges in
+//! ascending directed id order — the sequential delivery order. All
+//! per-shard state is keyed by the shard, not the worker, and each
+//! shard is claimed by exactly one worker per phase, so *which* worker
+//! processes a shard is invisible to the result — the shard plan and
+//! steal order can be randomized (`ENGINE_SHARD_STRESS`) without
+//! changing a single output bit. The result is bit-identical outputs
+//! and [`RunStats`] versus [`congest::Simulator`] across any thread
+//! count, verified by property tests.
 
-use crate::csr::{Csr, DirectedId};
+use crate::csr::{Csr, DirectedId, ShardLocality};
+use crate::pool::WorkerPool;
 use crate::report::EngineReport;
 use congest::obs::{PhaseWall, RoundTrace};
 use congest::{
@@ -67,8 +84,26 @@ use lightgraph::{Graph, NodeId};
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::{Arc, Barrier, Mutex, OnceLock};
 use std::time::Instant;
+
+/// Shards per worker when `threads > 1`: enough slack that a skewed
+/// frontier can be stolen, few enough that bucket rows stay cheap.
+const OVERSHARD: usize = 4;
+
+/// Upper bound on rounds per fused block, so accounting buffers and
+/// the livelock guard stay responsive even when shards are boundless
+/// (`threads == 1` has no boundaries at all).
+const FUSE_BLOCK_MAX: u64 = 512;
+
+/// Control codes broadcast by worker 0 (low byte of `ctrl_word`; the
+/// fused block bound rides in the high bits). Zero is deliberately not
+/// a valid code.
+const CTRL_CLASSIC: u64 = 1;
+const CTRL_FUSED: u64 = 2;
+const CTRL_QUIESCENT: u64 = 3;
+const CTRL_LIVELOCKED: u64 = 4;
+const CTRL_ABORTED: u64 = 5;
 
 /// A message stored inline in an edge queue (no per-message heap
 /// allocation while queued; the `Message` is materialized at delivery).
@@ -100,10 +135,9 @@ impl InlineMsg {
 /// # Safety invariant
 /// Callers of [`SharedSlice::get_mut`] must guarantee that no index is
 /// accessed by two workers within the same barrier-delimited phase.
-/// The engine upholds this structurally: program and inbox indices are
-/// sharded by node, and directed-edge queues are owned by their unique
-/// receiver during deliver phases and their unique sender during
-/// compute phases.
+/// The engine upholds this structurally: program, queue, and shard
+/// state indices are owned by their shard, and each shard is claimed
+/// by exactly one worker per phase (per-shard epoch CAS).
 struct SharedSlice<'a, T> {
     ptr: *mut T,
     len: usize,
@@ -132,13 +166,13 @@ impl<'a, T> SharedSlice<'a, T> {
     }
 }
 
-/// Contiguous node ranges, one per worker, balanced by degree: shard
-/// boundaries are prefix-sum cuts of `1 + deg(v)` (the per-node
-/// deliver+compute cost proxy) instead of equal node counts, so a hub
-/// node does not overload its shard. Deterministic in
-/// `(graph, threads)`; the `congest::exec` contract makes outputs
-/// independent of the boundaries (and hence of the thread count)
-/// entirely, so balancing is free to follow the workload.
+/// Contiguous node ranges, balanced by degree: shard boundaries are
+/// prefix-sum cuts of `1 + deg(v)` (the per-node deliver+compute cost
+/// proxy) instead of equal node counts, so a hub node does not
+/// overload its shard. Deterministic in `(graph, threads)`; the
+/// `congest::exec` contract makes outputs independent of the
+/// boundaries (and hence of the thread count) entirely, so balancing
+/// is free to follow the workload.
 fn shard_bounds(graph: &Graph, threads: usize) -> Vec<(usize, usize)> {
     let n = graph.n();
     let total: u64 = n as u64 + 2 * graph.m() as u64;
@@ -158,27 +192,155 @@ fn shard_bounds(graph: &Graph, threads: usize) -> Vec<(usize, usize)> {
     bounds
 }
 
+/// splitmix64 — the engine's only randomness source (stress mode), so
+/// no external RNG dependency is needed and stress runs are replayable
+/// from a single seed.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Base seed for `ENGINE_SHARD_STRESS=1` runs, drawn once per process
+/// and announced on stderr so failures are replayable via
+/// [`Engine::set_shard_stress_seed`].
+fn stress_env_base() -> Option<u64> {
+    static BASE: OnceLock<Option<u64>> = OnceLock::new();
+    *BASE.get_or_init(|| match std::env::var("ENGINE_SHARD_STRESS") {
+        Ok(v) if !v.is_empty() && v != "0" => {
+            let nanos = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            let seed = nanos ^ ((std::process::id() as u64) << 32);
+            eprintln!(
+                "engine: ENGINE_SHARD_STRESS active, base seed {seed:#x} \
+                     (replay any run with Engine::set_shard_stress_seed)"
+            );
+            Some(seed)
+        }
+        _ => None,
+    })
+}
+
+/// Per-run stress seed: explicit seed wins (replay), otherwise the env
+/// base advanced by a process-wide run counter so every run shakes a
+/// different shard plan.
+fn stress_run_seed(explicit: Option<u64>) -> Option<u64> {
+    static RUNS: AtomicU64 = AtomicU64::new(0);
+    explicit.or_else(|| {
+        stress_env_base().map(|base| {
+            let mut s = base.wrapping_add(RUNS.fetch_add(1, Ordering::Relaxed));
+            splitmix(&mut s)
+        })
+    })
+}
+
+/// The shard plan for one run: degree-balanced overshards normally, a
+/// randomized cut set under stress. Always covers `0..n` contiguously;
+/// empty shards are legal (their claims are no-ops).
+fn plan_shards(graph: &Graph, threads: usize, stress: Option<u64>) -> Vec<(usize, usize)> {
+    let n = graph.n();
+    if let Some(seed) = stress {
+        let mut rng = seed;
+        let hi = (threads * 2 * OVERSHARD).clamp(1, n.max(1));
+        let lo = threads.min(hi);
+        let nshards = lo + (splitmix(&mut rng) as usize) % (hi - lo + 1);
+        let mut cuts: Vec<usize> = (1..nshards)
+            .map(|_| (splitmix(&mut rng) as usize) % (n + 1))
+            .collect();
+        cuts.sort_unstable();
+        let mut bounds = Vec::with_capacity(nshards);
+        let mut prev = 0usize;
+        for c in cuts {
+            bounds.push((prev, c));
+            prev = c;
+        }
+        bounds.push((prev, n));
+        return bounds;
+    }
+    if threads == 1 {
+        return shard_bounds(graph, 1);
+    }
+    shard_bounds(graph, (threads * OVERSHARD).min(n.max(1)))
+}
+
+/// Per-shard worker claim order: a rotation spreading workers across
+/// the shard space (so first claims rarely collide), or a seeded
+/// shuffle under stress to exercise every steal interleaving.
+fn claim_orders(nshards: usize, threads: usize, stress: Option<u64>) -> Vec<Vec<usize>> {
+    (0..threads)
+        .map(|wid| {
+            let mut ord: Vec<usize> = (0..nshards).collect();
+            if let Some(seed) = stress {
+                let mut rng = seed ^ (wid as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+                for i in (1..nshards).rev() {
+                    let j = (splitmix(&mut rng) % (i as u64 + 1)) as usize;
+                    ord.swap(i, j);
+                }
+            } else {
+                ord.rotate_left(wid * nshards / threads);
+            }
+            ord
+        })
+        .collect()
+}
+
+/// All mutable per-shard execution state. Keyed by shard (not worker),
+/// so results cannot depend on which worker claims the shard.
+#[derive(Default)]
+struct ShardState {
+    /// Charged incoming edges carried over from the last deliver,
+    /// sorted by `(receiver, directed id)`.
+    carry_edges: Vec<DirectedId>,
+    next_edges: Vec<DirectedId>,
+    /// Non-quiescent nodes after their last activation, ascending.
+    carry_nodes: Vec<NodeId>,
+    next_nodes: Vec<NodeId>,
+    /// Inbox arena + per-node ranges for the current round.
+    arena: Vec<(NodeId, Message)>,
+    inbox_ranges: Vec<(NodeId, (usize, usize))>,
+    /// Record-mode: own out-queues that may be non-empty.
+    out_backlog: Vec<DirectedId>,
+    /// Scratch for `Ctx` staging.
+    staged: Vec<(NodeId, Message)>,
+    /// Per-round accounting from the shard's last fused block.
+    fused: Vec<FusedRound>,
+}
+
+/// Exact per-round accounting a shard writes during a fused block;
+/// worker 0 merges these across shards at the next decision point so
+/// histograms/traces match the barriered schedule bit for bit.
+#[derive(Clone, Copy, Default)]
+struct FusedRound {
+    delivered: u64,
+    active: u64,
+    depth: u64,
+    deliver_ns: u64,
+    compute_ns: u64,
+}
+
 /// Per-round record-mode histograms collected by worker 0:
 /// (messages, max queue depth, active nodes).
 type Histograms = (Vec<u64>, Vec<u64>, Vec<u64>);
 
-/// Worker-wide control decision taken (identically) by every worker at
-/// the top of each round.
+/// What worker 0 still has to account for at a decision point.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Decision {
-    Continue,
-    Quiescent,
-    Livelocked,
-    Aborted,
+enum Prev {
+    Init,
+    Classic,
+    Fused,
 }
 
 /// The parallel deterministic CONGEST engine.
 ///
 /// Drop-in [`Executor`] replacement for [`congest::Simulator`]: same
 /// [`Program`] interface, bit-identical outputs and [`RunStats`], but
-/// rounds execute over node shards on worker threads and messages move
-/// through CSR-indexed flat queue arrays instead of per-edge hash-map
-/// lookups. See the module docs for the phase/barrier structure.
+/// rounds execute over work-stolen node shards on a persistent worker
+/// pool, with barrier-free fused blocks where the frontier is provably
+/// shard-local. See the module docs for the phase/claim structure.
 pub struct Engine<'g> {
     graph: &'g Graph,
     csr: Csr,
@@ -194,6 +356,8 @@ pub struct Engine<'g> {
     node_stats: Option<NodeStats>,
     trace: Option<SharedTraceSink>,
     wall_total: PhaseWall,
+    pool: Option<Arc<WorkerPool>>,
+    stress_seed: Option<u64>,
 }
 
 impl<'g> std::fmt::Debug for Engine<'g> {
@@ -247,6 +411,8 @@ impl<'g> Engine<'g> {
             node_stats: None,
             trace: None,
             wall_total: PhaseWall::default(),
+            pool: None,
+            stress_seed: None,
         }
     }
 
@@ -268,10 +434,11 @@ impl<'g> Engine<'g> {
         self.last_report.as_ref()
     }
 
-    /// Cumulative per-phase wall time (sampled by worker 0) over every
-    /// timed `run` driven directly on this engine (sub-executors
-    /// accumulate their own). Zero unless metrics recording or tracing
-    /// was enabled.
+    /// Cumulative per-phase wall time over every timed `run` driven
+    /// directly on this engine (sub-executors accumulate their own).
+    /// Deliver/compute are max-across-workers per phase, barrier is
+    /// total wait across workers; see `congest::obs::PhaseWall`. Zero
+    /// unless metrics recording or tracing was enabled.
     pub fn wall_total(&self) -> PhaseWall {
         self.wall_total
     }
@@ -285,10 +452,20 @@ impl<'g> Engine<'g> {
 
     /// Attaches (or detaches, with `None`) a profiling trace sink; one
     /// [`RoundTrace`] record is pushed per executed round (by worker 0,
-    /// at the following round's decision point). Inherited by
+    /// at the following decision point; fused rounds carry zero
+    /// barrier time — they genuinely have none). Inherited by
     /// sub-executors; observer-neutral (contract clause 8).
     pub fn set_trace(&mut self, sink: Option<SharedTraceSink>) {
         self.trace = sink;
+    }
+
+    /// Pins the shard-stress seed for this engine (and its
+    /// sub-executors): `Some(seed)` randomizes shard cuts and steal
+    /// order exactly as `ENGINE_SHARD_STRESS=1` does, but replayably —
+    /// determinism tests sweep seeds without touching the environment.
+    /// `None` (the default) falls back to the env var.
+    pub fn set_shard_stress_seed(&mut self, seed: Option<u64>) {
+        self.stress_seed = seed;
     }
 
     /// The underlying graph (with the graph's own lifetime).
@@ -310,6 +487,14 @@ impl<'g> Engine<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let n = self.graph.n();
+        let threads = self.threads.clamp(1, n.max(1));
+        // Ensure the persistent pool before the long immutable borrows
+        // below; sub-executors share it via `Arc` (see `Executor::sub`).
+        if threads > 1 && self.pool.as_ref().map_or(0, |p| p.workers()) < threads - 1 {
+            self.pool = Some(Arc::new(WorkerPool::new(threads - 1)));
+        }
+        let pool = self.pool.clone();
+        let stress = stress_run_seed(self.stress_seed);
         let graph = self.graph;
         let csr = &self.csr;
         let senders = &self.senders;
@@ -330,17 +515,16 @@ impl<'g> Engine<'g> {
             )
         });
         let timed = record || trace_run.is_some();
-        let threads = self.threads.clamp(1, n.max(1));
-        let shards = shard_bounds(graph, threads);
-        // Worker shard owning each node, for routing touched edges to
-        // the receiver's worker.
-        let shard_of: Vec<u32> = {
-            let mut so = vec![0u32; n];
-            for (wid, &(lo, hi)) in shards.iter().enumerate() {
-                so[lo..hi].iter_mut().for_each(|s| *s = wid as u32);
-            }
-            so
-        };
+
+        let shards = plan_shards(graph, threads, stress);
+        let nshards = shards.len();
+        let orders = claim_orders(nshards, threads, stress);
+        // Shard-locality metadata: which shard owns each node, and how
+        // many intra-shard hops separate it from the nearest boundary —
+        // the fusion-eligibility metric (clause 9).
+        let loc = ShardLocality::new(graph, &shards);
+        let shard_of = &loc.shard_of;
+        let dist = &loc.dist_to_boundary;
 
         // `make` runs on the calling thread, in node order (contract).
         let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
@@ -352,13 +536,14 @@ impl<'g> Engine<'g> {
             (0..csr.directed_len()).map(|_| CombQueue::new()).collect();
         // `charged[d]` ⇔ queue `d` is non-empty ⇔ `d` sits in exactly
         // one receiver-side carryover list or touched bucket. Written by
-        // the unique sender during compute/init, cleared by the unique
-        // receiver during deliver — phases are barrier-separated.
+        // the unique sender shard during compute/init, cleared by the
+        // unique receiver shard during deliver.
         let mut charged: Vec<bool> = vec![false; csr.directed_len()];
-        // `touched[s * threads + r]`: edges freshly charged by sender
-        // worker `s` whose receiver lives in shard `r`. Rows written
+        // `touched[s * nshards + r]`: edges freshly charged by sender
+        // shard `s` whose receiver lives in shard `r`. Rows written
         // during compute, columns drained during deliver; both disjoint.
-        let mut touched: Vec<Vec<DirectedId>> = vec![Vec::new(); threads * threads];
+        let mut touched: Vec<Vec<DirectedId>> = vec![Vec::new(); nshards * nshards];
+        let mut states: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
         let mut per_directed: Vec<u64> = if record {
             vec![0; csr.directed_len()]
         } else {
@@ -367,8 +552,6 @@ impl<'g> Engine<'g> {
         // Record-mode only: membership flags for each sender's backlog
         // list of possibly-non-empty own out-queues, so the per-round
         // depth histogram scans the backlog instead of all `2m` queues.
-        // Written exclusively by the unique sender worker (register on
-        // push, purge on scan — both in its compute phase).
         let mut in_backlog: Vec<bool> = if record {
             vec![false; csr.directed_len()]
         } else {
@@ -387,15 +570,21 @@ impl<'g> Engine<'g> {
             let queues_sh = SharedSlice::new(&mut queues);
             let charged_sh = SharedSlice::new(&mut charged);
             let touched_sh = SharedSlice::new(&mut touched);
+            let states_sh = SharedSlice::new(&mut states);
             let per_directed_sh = SharedSlice::new(&mut per_directed);
             let in_backlog_sh = SharedSlice::new(&mut in_backlog);
             let ns_sent_sh = SharedSlice::new(&mut node_stats.sent);
             let ns_delivered_sh = SharedSlice::new(&mut node_stats.delivered);
             let ns_invocations_sh = SharedSlice::new(&mut node_stats.invocations);
+            // Per-shard claim epochs: a worker owns shard `s` for phase
+            // `p` iff it wins `claims[s]: p-1 → p`. Every worker walks
+            // all shards each phase, so every shard is claimed exactly
+            // once per phase regardless of worker interleaving.
+            let claims: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
             let pending = AtomicI64::new(0);
             // Count of non-quiescent programs; replaces the old
             // every-node `is_quiescent` sweep. Updated incrementally by
-            // each worker from its carryover-list delta after compute.
+            // each shard from its carryover-list delta after compute.
             let nonquiescent = AtomicI64::new(0);
             // Logical sends and clause-7 merges, batched per phase like
             // `pending`; at quiescence staged = delivered + combined.
@@ -404,6 +593,27 @@ impl<'g> Engine<'g> {
             let delivered_cum = AtomicU64::new(0);
             let active_cum = AtomicU64::new(0);
             let round_max_depth = AtomicU64::new(0);
+            // Fusion eligibility: min dist-to-boundary over every node
+            // that can be active next round, fetch_min'd by shards
+            // after their sends, swapped out by worker 0 at decisions.
+            let fuse_dist = AtomicU64::new(u64::MAX);
+            // Rounds actually executed by the longest-running shard of
+            // the current fused block (per-shard activity within a
+            // block is prefix-contiguous, so the max is exact).
+            let block_rounds = AtomicU64::new(0);
+            // Worker 0's broadcast decision: control code in the low
+            // byte, fused block bound in the high bits, plus the round
+            // base; stored before barrier #1, loaded after.
+            let ctrl_word = AtomicU64::new(0);
+            let ctrl_round = AtomicU64::new(0);
+            // Satellite: per-phase wall sampled by *all* workers —
+            // deliver/compute via fetch_max (phase wall = slowest
+            // worker), barrier via fetch_add (total wait). Worker 0
+            // drains them at decisions; attribution at unit boundaries
+            // is approximate (documented in `congest::obs`).
+            let ph_deliver = AtomicU64::new(0);
+            let ph_compute = AtomicU64::new(0);
+            let ph_barrier = AtomicU64::new(0);
             let abort = AtomicBool::new(false);
             let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
             let barrier = Barrier::new(threads);
@@ -413,30 +623,14 @@ impl<'g> Engine<'g> {
             // for worker 0 only (message totals live in the shared
             // atomics).
             let worker = |wid: usize| -> (u64, FrontierStats, Option<Histograms>, PhaseWall) {
-                let (lo, hi) = shards[wid];
-                // Phase wall-clock is sampled by worker 0 only: its
-                // deliver/compute guards plus its barrier waits (which
-                // absorb the other workers' imbalance).
-                let timing = timed && wid == 0;
+                let order = &orders[wid];
                 let mut wall = PhaseWall::default();
-                let mut r_deliver_ns: u64 = 0;
-                let mut r_compute_ns: u64 = 0;
-                let mut r_barrier_ns: u64 = 0;
-                let mut staged: Vec<(NodeId, Message)> = Vec::new();
-                let mut arena: Vec<(NodeId, Message)> = Vec::new();
-                // Own nodes that received messages this round, with
-                // their arena inbox ranges (ascending node order).
-                let mut inbox_ranges: Vec<(NodeId, (usize, usize))> = Vec::new();
-                // Own edges still charged after last deliver, sorted by
-                // (receiver, id); own nodes non-quiescent after their
-                // last activation, ascending.
-                let mut carry_edges: Vec<DirectedId> = Vec::new();
-                let mut carry_nodes: Vec<NodeId> = Vec::new();
-                let mut next_edges: Vec<DirectedId> = Vec::new();
-                let mut next_nodes: Vec<NodeId> = Vec::new();
-                // Record-mode: own out-queues that may be non-empty.
-                let mut out_backlog: Vec<DirectedId> = Vec::new();
                 let mut round: u64 = 0;
+                // Local phase counter, advanced identically by every
+                // worker (broadcast decisions keep them in lockstep):
+                // +1 for init, +2 per classic round, +1 per fused block.
+                let mut phase: u64 = 0;
+                let mut prev = Prev::Init;
                 let mut delivered_seen: u64 = 0;
                 let mut active_seen: u64 = 0;
                 let mut peak_active: u64 = 0;
@@ -454,18 +648,19 @@ impl<'g> Engine<'g> {
                     }
                 };
 
-                // Clause-7 staging, shared by the init and compute
-                // phases: stage one of `v`'s sends on its outgoing
-                // queue, merging per the sender's combiner; a merged
-                // message was absorbed into a co-queued one (the queue
-                // was non-empty, so the edge is already charged and
-                // backlogged), an appended one updates the
-                // charge/touched and record-mode backlog bookkeeping.
-                // Returns whether the message merged.
+                // Clause-7 staging, shared by init/compute/fused: stage
+                // one of `v`'s sends on its outgoing queue, merging per
+                // the sender's combiner; a merged message was absorbed
+                // into a co-queued one (the queue was non-empty, so the
+                // edge is already charged and backlogged), an appended
+                // one updates the charge/touched bucket (row = sender
+                // shard) and record-mode backlog bookkeeping. Returns
+                // whether the message merged.
                 let stage_one = |p: &P,
                                  v: NodeId,
                                  to: NodeId,
                                  msg: &Message,
+                                 row: usize,
                                  backlog: &mut Vec<DirectedId>| {
                     let d = csr.out_id(v, to);
                     let key = p.combine_key(msg);
@@ -485,7 +680,7 @@ impl<'g> Engine<'g> {
                     if !*ch {
                         *ch = true;
                         let r = shard_of[to] as usize;
-                        unsafe { touched_sh.get_mut(wid * threads + r) }.push(d);
+                        unsafe { touched_sh.get_mut(row * nshards + r) }.push(d);
                     }
                     if record {
                         let ib = unsafe { in_backlog_sh.get_mut(d) };
@@ -497,151 +692,220 @@ impl<'g> Engine<'g> {
                     false
                 };
 
-                // ---- init phase (round 0): one send burst per node;
-                // seed the non-quiescent carryover (the only full-shard
-                // `is_quiescent` evaluation of the run).
-                guard(&mut || {
+                // Fusion-eligibility contribution of shard `s` after
+                // its sends for a phase: min dist-to-boundary over
+                // everything that can be active next round from this
+                // shard — leftover charged receivers, freshly charged
+                // receivers (bucket row `s`), and the non-quiescent
+                // carryover. Batched locally, one fetch_min per shard.
+                let fuse_scan = |s: usize, carry_edges: &[DirectedId], carry_nodes: &[NodeId]| {
+                    let mut k = u64::MAX;
+                    for &d in carry_edges {
+                        k = k.min(dist[receivers[d]] as u64);
+                    }
+                    for r in 0..nshards {
+                        for &d in unsafe { touched_sh.get_mut(s * nshards + r) }.iter() {
+                            k = k.min(dist[receivers[d]] as u64);
+                        }
+                    }
+                    for &v in carry_nodes {
+                        k = k.min(dist[v] as u64);
+                    }
+                    if k != u64::MAX {
+                        fuse_dist.fetch_min(k, Ordering::SeqCst);
+                    }
+                };
+
+                // One shard's classic deliver: drain the touched-bucket
+                // column, merge with carryover, pop ≤ cap per charged
+                // queue into the shard arena in (receiver, id) order —
+                // the simulator's per-node inbox order.
+                let deliver_shard = |s: usize| {
+                    let st = unsafe { states_sh.get_mut(s) };
+                    let ShardState {
+                        carry_edges,
+                        next_edges,
+                        arena,
+                        inbox_ranges,
+                        ..
+                    } = st;
+                    arena.clear();
+                    inbox_ranges.clear();
+                    let mut fresh = false;
+                    for w in 0..nshards {
+                        let bucket = unsafe { touched_sh.get_mut(w * nshards + s) };
+                        fresh |= !bucket.is_empty();
+                        carry_edges.append(bucket);
+                    }
+                    if fresh {
+                        carry_edges.sort_unstable_by_key(|&d| (receivers[d], d));
+                    }
+                    let mut delta: i64 = 0;
+                    next_edges.clear();
+                    for &d in carry_edges.iter() {
+                        let v = receivers[d];
+                        match inbox_ranges.last_mut() {
+                            Some(&mut (node, _)) if node == v => {}
+                            _ => inbox_ranges.push((v, (arena.len(), arena.len()))),
+                        }
+                        let q = unsafe { queues_sh.get_mut(d) };
+                        let mut popped = 0u64;
+                        while popped < cap as u64 {
+                            match q.pop() {
+                                Some((_, im)) => {
+                                    arena.push((senders[d], im.unpack()));
+                                    popped += 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        inbox_ranges.last_mut().expect("pushed above").1 .1 = arena.len();
+                        delta -= popped as i64;
+                        if record && popped > 0 {
+                            *unsafe { per_directed_sh.get_mut(d) } += popped;
+                        }
+                        if track_nodes && popped > 0 {
+                            *unsafe { ns_delivered_sh.get_mut(v) } += popped;
+                        }
+                        if q.is_empty() {
+                            *unsafe { charged_sh.get_mut(d) } = false;
+                        } else {
+                            next_edges.push(d);
+                        }
+                    }
+                    std::mem::swap(carry_edges, next_edges);
+                    pending.fetch_add(delta, Ordering::SeqCst);
+                    delivered_cum.fetch_add((-delta) as u64, Ordering::SeqCst);
+                };
+
+                // One shard's classic compute at logical round `round`:
+                // run the shard's active programs (deliveries ∪
+                // non-quiescent carryover, clause 5 via the shared
+                // merge), push sends, update the carryover in place,
+                // then report fusion eligibility for the next decision.
+                let compute_shard = |s: usize, round: u64| {
+                    let st = unsafe { states_sh.get_mut(s) };
+                    let ShardState {
+                        carry_edges,
+                        carry_nodes,
+                        next_nodes,
+                        arena,
+                        inbox_ranges,
+                        out_backlog,
+                        staged,
+                        ..
+                    } = st;
                     let mut delta: i64 = 0;
                     let mut sent: u64 = 0;
                     let mut combined: u64 = 0;
-                    for v in lo..hi {
-                        let p = unsafe { programs_sh.get_mut(v) };
-                        let mut ctx = Ctx::new(v, n, 0, graph.neighbors(v), &mut staged);
-                        p.init(&mut ctx);
-                        for (to, msg) in staged.drain(..) {
-                            sent += 1;
+                    let mut executed: u64 = 0;
+                    next_nodes.clear();
+                    congest::for_each_active(
+                        inbox_ranges,
+                        carry_nodes,
+                        (0, 0),
+                        |v, (inbox_start, inbox_end)| {
+                            executed += 1;
                             if track_nodes {
-                                *unsafe { ns_sent_sh.get_mut(v) } += 1;
+                                *unsafe { ns_invocations_sh.get_mut(v) } += 1;
                             }
-                            if stage_one(p, v, to, &msg, &mut out_backlog) {
-                                combined += 1;
-                            } else {
-                                delta += 1;
+                            let p = unsafe { programs_sh.get_mut(v) };
+                            let mut ctx = Ctx::new(v, n, round, graph.neighbors(v), &mut *staged);
+                            p.round(&mut ctx, &arena[inbox_start..inbox_end]);
+                            for (to, msg) in staged.drain(..) {
+                                sent += 1;
+                                if track_nodes {
+                                    *unsafe { ns_sent_sh.get_mut(v) } += 1;
+                                }
+                                if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                    combined += 1;
+                                } else {
+                                    delta += 1;
+                                }
                             }
-                        }
-                        if !p.is_quiescent() {
-                            carry_nodes.push(v);
-                        }
-                    }
+                            if !p.is_quiescent() {
+                                next_nodes.push(v);
+                            }
+                        },
+                    );
+                    nonquiescent.fetch_add(
+                        next_nodes.len() as i64 - carry_nodes.len() as i64,
+                        Ordering::SeqCst,
+                    );
+                    std::mem::swap(carry_nodes, next_nodes);
                     pending.fetch_add(delta, Ordering::SeqCst);
                     staged_cum.fetch_add(sent, Ordering::SeqCst);
                     combined_cum.fetch_add(combined, Ordering::SeqCst);
-                    nonquiescent.fetch_add(carry_nodes.len() as i64, Ordering::SeqCst);
-                });
-                let t_barrier = timing.then(Instant::now);
-                barrier.wait(); // init burst + carryover seeds visible
-                if let Some(t) = t_barrier {
-                    r_barrier_ns += t.elapsed().as_nanos() as u64;
-                }
-
-                loop {
-                    // ---- decide (identically on every worker): every
-                    // counter update completed before the previous
-                    // barrier.
-                    let decision = if abort.load(Ordering::SeqCst) {
-                        Decision::Aborted
-                    } else if pending.load(Ordering::SeqCst) == 0
-                        && nonquiescent.load(Ordering::SeqCst) == 0
-                    {
-                        Decision::Quiescent
-                    } else if round + 1 > max_rounds {
-                        Decision::Livelocked
-                    } else {
-                        Decision::Continue
-                    };
-                    // Worker 0 accounts the *previous* round's
-                    // deliveries, activations, and phase wall time.
-                    if wid == 0 {
-                        let cum = delivered_cum.load(Ordering::SeqCst);
-                        let this_round = cum - delivered_seen;
-                        delivered_seen = cum;
-                        let acum = active_cum.load(Ordering::SeqCst);
-                        let round_active = acum - active_seen;
-                        active_seen = acum;
-                        peak_active = peak_active.max(round_active);
-                        if record && round > 0 {
-                            hist_msgs.push(this_round);
-                            hist_depth.push(round_max_depth.load(Ordering::SeqCst));
-                            hist_active.push(round_active);
-                        }
-                        if round > 0 {
-                            if let Some((sink, run_id)) = trace_run.as_ref() {
-                                sink.lock().expect("trace sink").push_round(
-                                    *run_id,
-                                    RoundTrace {
-                                        round,
-                                        delivered: this_round,
-                                        active: round_active,
-                                        deliver_ns: r_deliver_ns,
-                                        compute_ns: r_compute_ns,
-                                        barrier_ns: r_barrier_ns,
-                                    },
-                                );
+                    active_cum.fetch_add(executed, Ordering::SeqCst);
+                    if record {
+                        // Depth scan over the sender-side backlog only:
+                        // queues outside it are empty, so the max
+                        // matches a full `2m`-queue sweep at
+                        // frontier-proportional cost.
+                        let mut depth = 0u64;
+                        out_backlog.retain(|&d| {
+                            let len = unsafe { queues_sh.get_mut(d) }.len() as u64;
+                            if len == 0 {
+                                *unsafe { in_backlog_sh.get_mut(d) } = false;
+                                false
+                            } else {
+                                depth = depth.max(len);
+                                true
                             }
-                            wall.deliver_ns += r_deliver_ns;
-                            wall.compute_ns += r_compute_ns;
-                            wall.barrier_ns += r_barrier_ns;
-                            r_deliver_ns = 0;
-                            r_compute_ns = 0;
-                            r_barrier_ns = 0;
-                        }
+                        });
+                        round_max_depth.fetch_max(depth, Ordering::SeqCst);
                     }
-                    let t_barrier = timing.then(Instant::now);
-                    barrier.wait(); // #1: decision epoch closed
-                    if let Some(t) = t_barrier {
-                        r_barrier_ns += t.elapsed().as_nanos() as u64;
-                    }
+                    fuse_scan(s, carry_edges, carry_nodes);
+                };
 
-                    match decision {
-                        Decision::Continue => {}
-                        _ => {
-                            let frontier = FrontierStats {
-                                invocations: active_seen,
-                                peak_active,
-                                rounds: round,
-                            };
-                            return (
-                                round,
-                                frontier,
-                                (wid == 0 && record).then_some((
-                                    hist_msgs,
-                                    hist_depth,
-                                    hist_active,
-                                )),
-                                wall,
-                            );
+                // One shard's fused block: up to `b` barrier-free local
+                // rounds starting after logical round `base`. All
+                // traffic is shard-internal by the clause-9 predicate
+                // (active nodes sit ≥ 1 intra-shard hop from the
+                // boundary for the whole block), so only the diagonal
+                // bucket and the shard's own carry lists are touched.
+                let fuse_shard = |s: usize, base: u64, b: u64, timing: bool| {
+                    let st = unsafe { states_sh.get_mut(s) };
+                    let ShardState {
+                        carry_edges,
+                        next_edges,
+                        carry_nodes,
+                        next_nodes,
+                        arena,
+                        inbox_ranges,
+                        out_backlog,
+                        staged,
+                        fused,
+                    } = st;
+                    fused.clear();
+                    let own = s * nshards + s;
+                    let carry_start = carry_nodes.len() as i64;
+                    let mut b_pending: i64 = 0;
+                    let mut b_sent: u64 = 0;
+                    let mut b_combined: u64 = 0;
+                    let mut b_delivered: u64 = 0;
+                    let mut b_active: u64 = 0;
+                    for j in 1..=b {
+                        if abort.load(Ordering::SeqCst) {
+                            break;
                         }
-                    }
-                    round += 1;
-                    if wid == 0 {
-                        // Depth writes happen in compute (after barrier
-                        // #2), reads at the decision above: the reset
-                        // is race-free here.
-                        round_max_depth.store(0, Ordering::SeqCst);
-                    }
-
-                    // ---- deliver: pop own nodes' charged queues only.
-                    let t_deliver = timing.then(Instant::now);
-                    guard(&mut || {
+                        let bucket_empty = unsafe { touched_sh.get_mut(own) }.is_empty();
+                        if carry_edges.is_empty() && carry_nodes.is_empty() && bucket_empty {
+                            break; // dead: nothing can wake this shard mid-block
+                        }
+                        let mut fr = FusedRound::default();
+                        // -- local deliver (diagonal bucket only: cross
+                        // buckets are provably empty for the block).
+                        let t = timing.then(Instant::now);
                         arena.clear();
                         inbox_ranges.clear();
-                        // Fresh charges addressed to this shard, from
-                        // every sender worker's bucket row. Leftover
-                        // charged edges stay sorted; re-sort only when
-                        // buckets actually brought new ones.
-                        let mut fresh = false;
-                        for w in 0..threads {
-                            let bucket = unsafe { touched_sh.get_mut(w * threads + wid) };
-                            fresh |= !bucket.is_empty();
-                            carry_edges.append(bucket);
+                        {
+                            let bucket = unsafe { touched_sh.get_mut(own) };
+                            if !bucket.is_empty() {
+                                carry_edges.append(bucket);
+                                carry_edges.sort_unstable_by_key(|&d| (receivers[d], d));
+                            }
                         }
-                        if fresh {
-                            // (receiver, id) order restores the
-                            // simulator's per-node ascending-directed-id
-                            // inbox order.
-                            carry_edges.sort_unstable_by_key(|&d| (receivers[d], d));
-                        }
-                        let mut delta: i64 = 0;
                         next_edges.clear();
                         for &d in carry_edges.iter() {
                             let v = receivers[d];
@@ -661,7 +925,7 @@ impl<'g> Engine<'g> {
                                 }
                             }
                             inbox_ranges.last_mut().expect("pushed above").1 .1 = arena.len();
-                            delta -= popped as i64;
+                            fr.delivered += popped;
                             if record && popped > 0 {
                                 *unsafe { per_directed_sh.get_mut(d) } += popped;
                             }
@@ -674,52 +938,37 @@ impl<'g> Engine<'g> {
                                 next_edges.push(d);
                             }
                         }
-                        std::mem::swap(&mut carry_edges, &mut next_edges);
-                        pending.fetch_add(delta, Ordering::SeqCst);
-                        delivered_cum.fetch_add((-delta) as u64, Ordering::SeqCst);
-                    });
-                    if let Some(t) = t_deliver {
-                        r_deliver_ns += t.elapsed().as_nanos() as u64;
-                    }
-                    let t_barrier = timing.then(Instant::now);
-                    barrier.wait(); // #2: all inboxes assembled
-                    if let Some(t) = t_barrier {
-                        r_barrier_ns += t.elapsed().as_nanos() as u64;
-                    }
-
-                    // ---- compute: run own *active* programs (nodes
-                    // with deliveries ∪ non-quiescent carryover, clause
-                    // 5 via the shared merge), push own sends, update
-                    // the carryover in place.
-                    let t_compute = timing.then(Instant::now);
-                    guard(&mut || {
-                        let mut delta: i64 = 0;
-                        let mut sent: u64 = 0;
-                        let mut combined: u64 = 0;
-                        let mut executed: u64 = 0;
+                        std::mem::swap(carry_edges, next_edges);
+                        b_pending -= fr.delivered as i64;
+                        b_delivered += fr.delivered;
+                        if let Some(t) = t {
+                            fr.deliver_ns = t.elapsed().as_nanos() as u64;
+                        }
+                        // -- local compute at logical round base + j.
+                        let t = timing.then(Instant::now);
                         next_nodes.clear();
                         congest::for_each_active(
-                            &inbox_ranges,
-                            &carry_nodes,
+                            inbox_ranges,
+                            carry_nodes,
                             (0, 0),
                             |v, (inbox_start, inbox_end)| {
-                                executed += 1;
+                                fr.active += 1;
                                 if track_nodes {
                                     *unsafe { ns_invocations_sh.get_mut(v) } += 1;
                                 }
                                 let p = unsafe { programs_sh.get_mut(v) };
                                 let mut ctx =
-                                    Ctx::new(v, n, round, graph.neighbors(v), &mut staged);
+                                    Ctx::new(v, n, base + j, graph.neighbors(v), &mut *staged);
                                 p.round(&mut ctx, &arena[inbox_start..inbox_end]);
                                 for (to, msg) in staged.drain(..) {
-                                    sent += 1;
+                                    b_sent += 1;
                                     if track_nodes {
                                         *unsafe { ns_sent_sh.get_mut(v) } += 1;
                                     }
-                                    if stage_one(p, v, to, &msg, &mut out_backlog) {
-                                        combined += 1;
+                                    if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                        b_combined += 1;
                                     } else {
-                                        delta += 1;
+                                        b_pending += 1;
                                     }
                                 }
                                 if !p.is_quiescent() {
@@ -727,23 +976,9 @@ impl<'g> Engine<'g> {
                                 }
                             },
                         );
-                        nonquiescent.fetch_add(
-                            next_nodes.len() as i64 - carry_nodes.len() as i64,
-                            Ordering::SeqCst,
-                        );
-                        std::mem::swap(&mut carry_nodes, &mut next_nodes);
-                        pending.fetch_add(delta, Ordering::SeqCst);
-                        staged_cum.fetch_add(sent, Ordering::SeqCst);
-                        combined_cum.fetch_add(combined, Ordering::SeqCst);
-                        active_cum.fetch_add(executed, Ordering::SeqCst);
+                        std::mem::swap(carry_nodes, next_nodes);
+                        b_active += fr.active;
                         if record {
-                            // Depth scan over the sender-side backlog
-                            // only: queues outside it are empty, so the
-                            // max matches a full `2m`-queue sweep at
-                            // frontier-proportional cost. Drained
-                            // queues leave the backlog here (only this
-                            // worker pushes to them, so the length
-                            // read is race-free during compute).
                             let mut depth = 0u64;
                             out_backlog.retain(|&d| {
                                 let len = unsafe { queues_sh.get_mut(d) }.len() as u64;
@@ -755,27 +990,331 @@ impl<'g> Engine<'g> {
                                     true
                                 }
                             });
-                            round_max_depth.fetch_max(depth, Ordering::SeqCst);
+                            fr.depth = depth;
                         }
-                    });
-                    if let Some(t) = t_compute {
-                        r_compute_ns += t.elapsed().as_nanos() as u64;
+                        if let Some(t) = t {
+                            fr.compute_ns = t.elapsed().as_nanos() as u64;
+                        }
+                        fused.push(fr);
                     }
-                    let t_barrier = timing.then(Instant::now);
-                    barrier.wait(); // #3: all sends queued
+                    // Batched flushes: decisions only read these after
+                    // the block's resync barrier.
+                    pending.fetch_add(b_pending, Ordering::SeqCst);
+                    staged_cum.fetch_add(b_sent, Ordering::SeqCst);
+                    combined_cum.fetch_add(b_combined, Ordering::SeqCst);
+                    delivered_cum.fetch_add(b_delivered, Ordering::SeqCst);
+                    active_cum.fetch_add(b_active, Ordering::SeqCst);
+                    nonquiescent
+                        .fetch_add(carry_nodes.len() as i64 - carry_start, Ordering::SeqCst);
+                    block_rounds.fetch_max(fused.len() as u64, Ordering::SeqCst);
+                    fuse_scan(s, carry_edges, carry_nodes);
+                };
+
+                // ---- init phase (round 0): one send burst per node;
+                // seed the non-quiescent carryover (the only full-shard
+                // `is_quiescent` evaluation of the run).
+                phase += 1;
+                guard(&mut || {
+                    for &s in order {
+                        if claims[s]
+                            .compare_exchange(phase - 1, phase, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        let st = unsafe { states_sh.get_mut(s) };
+                        let ShardState {
+                            carry_edges,
+                            carry_nodes,
+                            out_backlog,
+                            staged,
+                            ..
+                        } = st;
+                        let (lo, hi) = shards[s];
+                        let mut delta: i64 = 0;
+                        let mut sent: u64 = 0;
+                        let mut combined: u64 = 0;
+                        for v in lo..hi {
+                            let p = unsafe { programs_sh.get_mut(v) };
+                            let mut ctx = Ctx::new(v, n, 0, graph.neighbors(v), &mut *staged);
+                            p.init(&mut ctx);
+                            for (to, msg) in staged.drain(..) {
+                                sent += 1;
+                                if track_nodes {
+                                    *unsafe { ns_sent_sh.get_mut(v) } += 1;
+                                }
+                                if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                    combined += 1;
+                                } else {
+                                    delta += 1;
+                                }
+                            }
+                            if !p.is_quiescent() {
+                                carry_nodes.push(v);
+                            }
+                        }
+                        pending.fetch_add(delta, Ordering::SeqCst);
+                        staged_cum.fetch_add(sent, Ordering::SeqCst);
+                        combined_cum.fetch_add(combined, Ordering::SeqCst);
+                        nonquiescent.fetch_add(carry_nodes.len() as i64, Ordering::SeqCst);
+                        fuse_scan(s, carry_edges, carry_nodes);
+                    }
+                });
+                let t_barrier = timed.then(Instant::now);
+                barrier.wait(); // init burst + carryover seeds visible
+                if let Some(t) = t_barrier {
+                    ph_barrier.fetch_add(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                }
+
+                loop {
+                    // ---- decide: worker 0 alone accounts the previous
+                    // unit (every counter settled before the last
+                    // barrier), then broadcasts the next move.
+                    if wid == 0 {
+                        match prev {
+                            Prev::Init => {}
+                            Prev::Classic => {
+                                round += 1;
+                                let cum = delivered_cum.load(Ordering::SeqCst);
+                                let this_round = cum - delivered_seen;
+                                delivered_seen = cum;
+                                let acum = active_cum.load(Ordering::SeqCst);
+                                let round_active = acum - active_seen;
+                                active_seen = acum;
+                                peak_active = peak_active.max(round_active);
+                                let dns = ph_deliver.swap(0, Ordering::SeqCst);
+                                let cns = ph_compute.swap(0, Ordering::SeqCst);
+                                let bns = ph_barrier.swap(0, Ordering::SeqCst);
+                                if record {
+                                    hist_msgs.push(this_round);
+                                    hist_depth.push(round_max_depth.swap(0, Ordering::SeqCst));
+                                    hist_active.push(round_active);
+                                }
+                                if let Some((sink, run_id)) = trace_run.as_ref() {
+                                    sink.lock().expect("trace sink").push_round(
+                                        *run_id,
+                                        RoundTrace {
+                                            round,
+                                            delivered: this_round,
+                                            active: round_active,
+                                            deliver_ns: dns,
+                                            compute_ns: cns,
+                                            barrier_ns: bns,
+                                        },
+                                    );
+                                }
+                                wall.deliver_ns += dns;
+                                wall.compute_ns += cns;
+                                wall.barrier_ns += bns;
+                            }
+                            Prev::Fused => {
+                                // Merge the block's per-shard per-round
+                                // records into exact global rounds;
+                                // fused rounds have no barriers, so the
+                                // block's (single resync) barrier wait
+                                // is attributed to its first round.
+                                let l = block_rounds.swap(0, Ordering::SeqCst) as usize;
+                                let bar = ph_barrier.swap(0, Ordering::SeqCst);
+                                let _ = ph_deliver.swap(0, Ordering::SeqCst);
+                                let _ = ph_compute.swap(0, Ordering::SeqCst);
+                                for j in 0..l {
+                                    let mut delivered_j = 0u64;
+                                    let mut active_j = 0u64;
+                                    let mut depth_j = 0u64;
+                                    let mut dns = 0u64;
+                                    let mut cns = 0u64;
+                                    for s in 0..nshards {
+                                        if let Some(fr) =
+                                            unsafe { states_sh.get_mut(s) }.fused.get(j)
+                                        {
+                                            delivered_j += fr.delivered;
+                                            active_j += fr.active;
+                                            depth_j = depth_j.max(fr.depth);
+                                            dns += fr.deliver_ns;
+                                            cns += fr.compute_ns;
+                                        }
+                                    }
+                                    round += 1;
+                                    peak_active = peak_active.max(active_j);
+                                    let bns = if j == 0 { bar } else { 0 };
+                                    if record {
+                                        hist_msgs.push(delivered_j);
+                                        hist_depth.push(depth_j);
+                                        hist_active.push(active_j);
+                                    }
+                                    if let Some((sink, run_id)) = trace_run.as_ref() {
+                                        sink.lock().expect("trace sink").push_round(
+                                            *run_id,
+                                            RoundTrace {
+                                                round,
+                                                delivered: delivered_j,
+                                                active: active_j,
+                                                deliver_ns: dns,
+                                                compute_ns: cns,
+                                                barrier_ns: bns,
+                                            },
+                                        );
+                                    }
+                                    wall.deliver_ns += dns;
+                                    wall.compute_ns += cns;
+                                    wall.barrier_ns += bns;
+                                }
+                                delivered_seen = delivered_cum.load(Ordering::SeqCst);
+                                active_seen = active_cum.load(Ordering::SeqCst);
+                            }
+                        }
+                        // Only worker 0 ever touches `fuse_dist` here,
+                        // so the swap-reset cannot race worker loads.
+                        let k = fuse_dist.swap(u64::MAX, Ordering::SeqCst);
+                        let (code, b) = if abort.load(Ordering::SeqCst) {
+                            (CTRL_ABORTED, 0)
+                        } else if pending.load(Ordering::SeqCst) == 0
+                            && nonquiescent.load(Ordering::SeqCst) == 0
+                        {
+                            (CTRL_QUIESCENT, 0)
+                        } else if round + 1 > max_rounds {
+                            (CTRL_LIVELOCKED, 0)
+                        } else if k >= 1 && k != u64::MAX {
+                            (CTRL_FUSED, k.min(FUSE_BLOCK_MAX).min(max_rounds - round))
+                        } else {
+                            (CTRL_CLASSIC, 0)
+                        };
+                        ctrl_round.store(round, Ordering::SeqCst);
+                        ctrl_word.store(code | (b << 8), Ordering::SeqCst);
+                    }
+                    let t_barrier = timed.then(Instant::now);
+                    barrier.wait(); // #1: decision epoch closed
                     if let Some(t) = t_barrier {
-                        r_barrier_ns += t.elapsed().as_nanos() as u64;
+                        ph_barrier.fetch_add(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                    }
+                    let word = ctrl_word.load(Ordering::SeqCst);
+                    let code = word & 0xff;
+                    let b = word >> 8;
+                    let base = ctrl_round.load(Ordering::SeqCst);
+
+                    match code {
+                        CTRL_CLASSIC => {
+                            // ---- deliver phase.
+                            phase += 1;
+                            let t = timed.then(Instant::now);
+                            guard(&mut || {
+                                for &s in order {
+                                    if claims[s]
+                                        .compare_exchange(
+                                            phase - 1,
+                                            phase,
+                                            Ordering::SeqCst,
+                                            Ordering::SeqCst,
+                                        )
+                                        .is_ok()
+                                    {
+                                        deliver_shard(s);
+                                    }
+                                }
+                            });
+                            if let Some(t) = t {
+                                ph_deliver
+                                    .fetch_max(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            let t_barrier = timed.then(Instant::now);
+                            barrier.wait(); // #2: all inboxes assembled
+                            if let Some(t) = t_barrier {
+                                ph_barrier
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            // ---- compute phase.
+                            phase += 1;
+                            let t = timed.then(Instant::now);
+                            guard(&mut || {
+                                for &s in order {
+                                    if claims[s]
+                                        .compare_exchange(
+                                            phase - 1,
+                                            phase,
+                                            Ordering::SeqCst,
+                                            Ordering::SeqCst,
+                                        )
+                                        .is_ok()
+                                    {
+                                        compute_shard(s, base + 1);
+                                    }
+                                }
+                            });
+                            if let Some(t) = t {
+                                ph_compute
+                                    .fetch_max(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            let t_barrier = timed.then(Instant::now);
+                            barrier.wait(); // #3: all sends queued
+                            if let Some(t) = t_barrier {
+                                ph_barrier
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            prev = Prev::Classic;
+                        }
+                        CTRL_FUSED => {
+                            // ---- fused block: one claim phase, up to
+                            // `b` barrier-free rounds per shard.
+                            phase += 1;
+                            guard(&mut || {
+                                for &s in order {
+                                    if claims[s]
+                                        .compare_exchange(
+                                            phase - 1,
+                                            phase,
+                                            Ordering::SeqCst,
+                                            Ordering::SeqCst,
+                                        )
+                                        .is_ok()
+                                    {
+                                        fuse_shard(s, base, b, timed);
+                                    }
+                                }
+                            });
+                            let t_barrier = timed.then(Instant::now);
+                            barrier.wait(); // resync: block results visible
+                            if let Some(t) = t_barrier {
+                                ph_barrier
+                                    .fetch_add(t.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            }
+                            prev = Prev::Fused;
+                        }
+                        _ => {
+                            // Terminal (quiescent / livelocked /
+                            // aborted): worker 0 already accounted the
+                            // final unit above.
+                            let frontier = FrontierStats {
+                                invocations: active_seen,
+                                peak_active,
+                                rounds: round,
+                            };
+                            return (
+                                round,
+                                frontier,
+                                (wid == 0 && record).then_some((
+                                    hist_msgs,
+                                    hist_depth,
+                                    hist_active,
+                                )),
+                                wall,
+                            );
+                        }
                     }
                 }
             };
 
-            let (rounds, frontier, hists, wall) = std::thread::scope(|s| {
-                for wid in 1..threads {
-                    let w = &worker;
-                    s.spawn(move || w(wid));
-                }
+            let (rounds, frontier, hists, wall) = if threads > 1 {
+                let pool_ref = pool.as_ref().expect("pool ensured for threads > 1");
+                pool_ref.scope(
+                    threads,
+                    &|wid| {
+                        let _ = worker(wid);
+                    },
+                    || worker(0),
+                )
+            } else {
                 worker(0)
-            });
+            };
 
             if let Some(payload) = panic_payload.lock().unwrap().take() {
                 resume_unwind(payload);
@@ -827,7 +1366,6 @@ impl<'g> Engine<'g> {
         (programs.into_iter().map(Program::finish).collect(), stats)
     }
 }
-
 impl<'g> Executor for Engine<'g> {
     type Sub<'h> = Engine<'h>;
 
@@ -840,6 +1378,10 @@ impl<'g> Executor for Engine<'g> {
             sub.set_record_node_stats(true);
         }
         sub.trace = self.trace.clone();
+        // Sub-executors reuse the parent's parked workers and stress
+        // plan — a composite algorithm spawns threads exactly once.
+        sub.pool = self.pool.clone();
+        sub.stress_seed = self.stress_seed;
         sub
     }
 
@@ -1043,6 +1585,31 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "livelocked")]
+    fn livelock_guard_fires_inside_fused_blocks() {
+        // Single-threaded (one boundless shard): the whole run executes
+        // as fused blocks, and the guard must still stop at max_rounds.
+        struct Chatter;
+        impl Program for Chatter {
+            type Output = ();
+            fn init(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send_all(Message::words(&[0]));
+            }
+            fn round(&mut self, ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
+                let senders: Vec<NodeId> = inbox.iter().map(|&(from, _)| from).collect();
+                for from in senders {
+                    ctx.send(from, Message::words(&[0]));
+                }
+            }
+            fn finish(self) {}
+        }
+        let g = lightgraph::Graph::from_edges(2, [(0, 1, 1)]).unwrap();
+        let mut eng = Engine::with_threads(&g, 1);
+        Executor::set_max_rounds(&mut eng, 1000);
+        eng.run(|_, _| Chatter);
+    }
+
+    #[test]
     fn program_panics_are_forwarded_not_deadlocked() {
         struct Bomb;
         impl Program for Bomb {
@@ -1063,6 +1630,9 @@ mod tests {
             .expect_err("must propagate");
         let text = err.downcast_ref::<&str>().copied().unwrap_or_default();
         assert!(text.contains("boom"), "unexpected payload {text:?}");
+        // The engine (and its pool) must stay usable after the panic.
+        let (out, _) = eng.run(|_, _| Flood { have: false });
+        assert_eq!(out.len(), 8);
     }
 
     #[test]
@@ -1138,6 +1708,23 @@ mod tests {
     }
 
     #[test]
+    fn plan_shards_covers_nodes_under_stress_and_normally() {
+        for (n, seed) in [(1usize, 11u64), (7, 12), (40, 13)] {
+            let g = generators::erdos_renyi(n, 0.2, 9, seed);
+            for threads in 1..=4 {
+                for stress in [None, Some(seed), Some(seed ^ 0xdead_beef)] {
+                    let bounds = plan_shards(&g, threads, stress);
+                    assert!(!bounds.is_empty());
+                    assert_eq!(bounds[0].0, 0);
+                    assert_eq!(bounds.last().unwrap().1, n);
+                    assert!(bounds.windows(2).all(|w| w[0].1 == w[1].0));
+                    assert!(bounds.iter().all(|&(lo, hi)| lo <= hi));
+                }
+            }
+        }
+    }
+
+    #[test]
     fn frontier_stats_match_simulator_and_skip_idle_nodes() {
         // Burst over one edge: only the receiver is ever active, so a
         // 10-round run costs 10 invocations (dense: 20), on any thread
@@ -1187,6 +1774,75 @@ mod tests {
             "k-1 messages remain after round 1"
         );
         assert_eq!(report.threads, 2);
+    }
+
+    #[test]
+    fn fused_blocks_keep_report_series_exact() {
+        // Single-thread runs fuse whole bursts into barrier-free
+        // blocks; every per-round histogram column must still match
+        // the barriered multi-thread schedule bit for bit.
+        let g = generators::path(24, 1);
+        let mut sim = Simulator::new(&g);
+        let (os, ss) = sim.run(|_, _| Flood { have: false });
+        let mut reference: Option<EngineReport> = None;
+        for threads in [1, 2, 4] {
+            let mut eng = Engine::with_threads(&g, threads);
+            eng.set_record_metrics(true);
+            let (oe, se) = eng.run(|_, _| Flood { have: false });
+            assert_eq!(os, oe, "outputs (threads={threads})");
+            assert_eq!(ss, se, "stats (threads={threads})");
+            assert_eq!(
+                sim.frontier_total(),
+                Executor::frontier_total(&eng),
+                "frontier (threads={threads})"
+            );
+            let report = eng.last_report().expect("recording enabled");
+            if let Some(r) = reference.as_ref() {
+                assert_eq!(
+                    r.messages_per_round, report.messages_per_round,
+                    "messages/round (threads={threads})"
+                );
+                assert_eq!(
+                    r.active_per_round, report.active_per_round,
+                    "active/round (threads={threads})"
+                );
+                assert_eq!(
+                    r.max_queue_depth_per_round, report.max_queue_depth_per_round,
+                    "depth/round (threads={threads})"
+                );
+                assert_eq!(
+                    r.hot_edges, report.hot_edges,
+                    "hot edges (threads={threads})"
+                );
+            } else {
+                reference = Some(report.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn stress_seeds_never_change_outputs() {
+        // Randomized shard cuts and steal orders must be invisible:
+        // same outputs, stats, frontier, and report series for every
+        // seed. This is the in-tree face of ENGINE_SHARD_STRESS=1.
+        let g = generators::erdos_renyi(48, 0.1, 9, 3);
+        let mut sim = Simulator::new(&g);
+        let (os, ss) = sim.run(|_, _| Flood { have: false });
+        for threads in [1, 3] {
+            for seed in 0..6u64 {
+                let mut eng = Engine::with_threads(&g, threads);
+                eng.set_shard_stress_seed(Some(seed));
+                eng.set_record_metrics(true);
+                let (oe, se) = eng.run(|_, _| Flood { have: false });
+                assert_eq!(os, oe, "outputs (threads={threads}, seed={seed})");
+                assert_eq!(ss, se, "stats (threads={threads}, seed={seed})");
+                assert_eq!(
+                    sim.frontier_total(),
+                    Executor::frontier_total(&eng),
+                    "frontier (threads={threads}, seed={seed})"
+                );
+            }
+        }
     }
 
     /// Same program as the simulator's combining unit test: node 0

@@ -33,6 +33,7 @@
 
 pub mod config;
 pub mod csr;
+pub mod pool;
 pub mod report;
 pub mod scenario;
 

@@ -37,10 +37,15 @@ use lightnet::{doubling_spanner, light_spanner, shallow_light_tree_with};
 use std::io::Write;
 use std::time::Instant;
 
+/// Upper bound on the `threads` TOML key — loud validation instead of
+/// silently over-subscribing the machine (mirrors the
+/// `landmarks`/`hop_bound` pattern). Omitting the key uses every core.
+pub const MAX_THREADS: usize = 512;
+
 /// The built-in default sweep (`scenario` with no arguments).
 pub const DEFAULT_CONFIG: &str = r#"# Built-in default sweep (see crates/engine/scenarios/ for more).
 seed = 1
-threads = 0          # 0 = use every core
+# threads = 4        # worker threads, 1..=512; omit to use every core
 engine = "parallel"  # "parallel" | "sim" | "both"
 format = "jsonl"     # "jsonl" | "csv"
 cap = 1
@@ -509,12 +514,18 @@ fn run_cell(
 /// required keys, I/O failures, or a sim/parallel determinism mismatch.
 pub fn run_sweep(doc: &config::Document, out: &mut dyn Write) -> Result<(), String> {
     let root = &doc.root;
-    let threads = match root.int_or("threads", 0) {
-        0 => std::thread::available_parallelism()
+    let threads = match root.get("threads") {
+        None => std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1),
-        t if t > 0 => t as usize,
-        t => return Err(format!("threads must be >= 0, got {t}")),
+        Some(v) => match v.as_int() {
+            Some(t) if (1..=MAX_THREADS as i64).contains(&t) => t as usize,
+            Some(0) => {
+                return Err("threads must be >= 1 (omit the key to use every core)".to_owned())
+            }
+            Some(t) => return Err(format!("threads must be in 1..={MAX_THREADS}, got {t}")),
+            None => return Err("`threads` must be an integer".to_owned()),
+        },
     };
     let engines: Vec<&'static str> = match root.str_or("engine", "parallel") {
         "parallel" => vec!["parallel"],
@@ -744,6 +755,29 @@ mod tests {
         assert!(sweep_err(&cell("k = 0")).contains("`k`"));
         assert!(sweep_err(&cell("net_delta = -5")).contains("net_delta"));
         assert!(sweep_err(&cell("net_slack = 0.0")).contains("net_slack"));
+    }
+
+    #[test]
+    fn threads_key_is_validated_loudly() {
+        let with_threads = |t: &str| {
+            format!(
+                "engine = \"sim\"\nthreads = {t}\n[[run]]\nfamily = \"grid\"\n\
+                 sizes = [16]\nalgorithms = [\"bfs\"]\n"
+            )
+        };
+        let zero = sweep_err(&with_threads("0"));
+        assert!(zero.contains("threads"), "{zero}");
+        assert!(zero.contains("omit the key"), "hint the fix: {zero}");
+        assert!(sweep_err(&with_threads("-2")).contains("threads"));
+        let absurd = sweep_err(&with_threads("100000"));
+        assert!(absurd.contains("1..=512"), "{absurd}");
+        assert!(sweep_err(&with_threads("\"many\"")).contains("integer"));
+        // In-range values run; `threads` lands in the emitted rows.
+        let body = with_threads("2").replace("engine = \"sim\"", "engine = \"parallel\"");
+        let doc = config::parse(&body).expect("config parses");
+        let mut out = Vec::new();
+        run_sweep(&doc, &mut out).expect("sweep runs");
+        assert!(String::from_utf8(out).unwrap().contains("\"threads\":2"));
     }
 
     #[test]

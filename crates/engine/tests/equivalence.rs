@@ -15,6 +15,11 @@
 //! combined-vs-uncombined equivalence wall: a combine-correct program
 //! must reach the same outputs with and without its combiner, and the
 //! dense-validation mode must catch a combiner that breaks the algebra.
+//! Clause 9 (round fusion) gets adversarial fusion-heavy chain
+//! workloads — long shard-local paths where the parallel engine runs
+//! most rounds inside barrier-free fused blocks — asserting outputs,
+//! `RunStats`, frontier totals, and flattened span trees bit-identical
+//! across thread counts and vs the (never-fusing) Simulator.
 //!
 //! Test-helper conventions (determinism-contract expectations):
 //! * every helper runs the algorithm *fresh* on each executor — a
@@ -681,6 +686,42 @@ proptest! {
         }
     }
 
+    /// Clause 9 (round fusion) under an adversarial fusion-heavy load:
+    /// long shard-local chains where the `HoldAndRelay` token wanders
+    /// deep inside shards, so the parallel engine runs most rounds
+    /// inside fused blocks (the distance-to-boundary predicate keeps
+    /// firing as the wave crawls along the chain). Outputs — including
+    /// per-node invocation counts, which pin the exact schedule —
+    /// `RunStats`, and frontier totals must stay bit-identical across
+    /// `threads ∈ {1, 2, 4, 8}` and vs the Simulator, fused or not.
+    #[test]
+    fn prop_fusion_heavy_chains_identical(
+        n in 48usize..144, seed in 0u64..500, kind in 0u64..3
+    ) {
+        let g = match kind {
+            0 => generators::path(n, 3),
+            1 => generators::comb(n / 6 + 2, 4),
+            _ => generators::caterpillar(n / 4 + 1, 2, seed),
+        };
+        let mut sim = Simulator::new(&g);
+        let (os, ss) = sim.run(|_, _| HoldAndRelay {
+            hold_left: 0, pending: Vec::new(), tokens_seen: 0, invoked: 0,
+        });
+        let fs = sim.frontier_total();
+        for threads in [1usize, 2, 4, 8] {
+            let mut eng = Engine::with_threads(&g, threads);
+            let (oe, se) = eng.run(|_, _| HoldAndRelay {
+                hold_left: 0, pending: Vec::new(), tokens_seen: 0, invoked: 0,
+            });
+            prop_assert_eq!(&os, &oe, "outputs (threads={})", threads);
+            prop_assert_eq!(ss, se, "stats (threads={})", threads);
+            prop_assert_eq!(
+                fs, Executor::frontier_total(&eng),
+                "frontier stats (threads={})", threads
+            );
+        }
+    }
+
     #[test]
     fn prop_cap_ablation_identical((g, _seed) in arb_graph(), cap in 1usize..4) {
         let mut sim = Simulator::new(&g);
@@ -974,6 +1015,58 @@ fn euler_tour_structured_graphs_match_sequential_reference() {
             Executor::total(&eng),
             "[{name}] cumulative totals"
         );
+    }
+}
+
+/// Clause-9 accounting under a real composite algorithm: SLT on a long
+/// path is the fusion-heavy regime (every phase is a wave crawling a
+/// chain, so the engine spends most rounds inside fused blocks), and
+/// the *flattened span tree* is the strictest observable — per-phase
+/// `RunStats`, invocation counts, and scheduler rounds, all derived
+/// from the per-round accounting that fused blocks must reconstruct
+/// as if every global barrier had happened. All deterministic span
+/// columns must be bit-identical across `threads ∈ {1, 2, 4, 8}` and
+/// vs the Simulator; only `wall_ns` may differ.
+#[test]
+fn fusion_heavy_slt_span_tree_identical_across_threads() {
+    use congest::obs;
+    let g = generators::path(160, 3);
+    let params = engine::scenario::AlgoParams::default();
+
+    let mut sim = Simulator::new(&g);
+    let (rs, tree_s) =
+        obs::collect_spans(|| engine::scenario::drive(&mut sim, "slt", &params, 1).expect("runs"));
+    let flat_s = tree_s.flatten();
+    assert!(!flat_s.is_empty(), "the SLT drive must emit named spans");
+    for threads in [1usize, 2, 4, 8] {
+        let mut eng = Engine::with_threads(&g, threads);
+        let (re, tree_e) = obs::collect_spans(|| {
+            engine::scenario::drive(&mut eng, "slt", &params, 1).expect("runs")
+        });
+        assert_eq!(rs.0, re.0, "RunStats (threads={threads})");
+        assert_eq!(rs.2, re.2, "metric (threads={threads})");
+        assert_eq!(
+            sim.frontier_total(),
+            Executor::frontier_total(&eng),
+            "frontier totals (threads={threads})"
+        );
+        let flat_e = tree_e.flatten();
+        assert_eq!(flat_s.len(), flat_e.len(), "span count (threads={threads})");
+        for ((ps, node_s), (pe, node_e)) in flat_s.iter().zip(&flat_e) {
+            assert_eq!(ps, pe, "span path (threads={threads})");
+            assert_eq!(
+                node_s.stats, node_e.stats,
+                "span stats at {ps} (threads={threads})"
+            );
+            assert_eq!(
+                node_s.invocations, node_e.invocations,
+                "invocations at {ps} (threads={threads})"
+            );
+            assert_eq!(
+                node_s.sched_rounds, node_e.sched_rounds,
+                "sched_rounds at {ps} (threads={threads})"
+            );
+        }
     }
 }
 
