@@ -176,6 +176,28 @@ impl Program for DowncastProgram {
 /// `tree` alone by walking each target's parent chain once — free local
 /// precomputation performed by the orchestrator on the vertices' behalf,
 /// like the tree itself.
+///
+/// # Examples
+///
+/// Route per-vertex answers from the root of a BFS tree to their
+/// targets on a path `0 – 1 – 2 – 3`; each vertex receives exactly the
+/// items addressed to it, in the root's emission order:
+///
+/// ```
+/// use congest::collective::downcast;
+/// use congest::tree::build_bfs_tree;
+/// use congest::Simulator;
+/// use lightgraph::generators;
+///
+/// let g = generators::path(4, 1);
+/// let mut sim = Simulator::new(&g);
+/// let (tree, _) = build_bfs_tree(&mut sim, 0);
+/// let items = vec![(2, (7, [70, 700])), (3, (9, [90, 900])), (2, (8, [80, 800]))];
+/// let (per_vertex, _stats) = downcast(&mut sim, &tree, items);
+/// assert_eq!(per_vertex[2], vec![(7, [70, 700]), (8, [80, 800])]);
+/// assert_eq!(per_vertex[3], vec![(9, [90, 900])]);
+/// assert!(per_vertex[0].is_empty() && per_vertex[1].is_empty());
+/// ```
 pub fn downcast<E: Executor>(
     sim: &mut E,
     tree: &BfsTree,

@@ -7,16 +7,29 @@
 //! observable contract an engine must honor so that algorithms (and the
 //! paper's round-count experiments) behave identically on both:
 //!
-//! **Determinism contract.**
+//! **Determinism contract.** Each clause names its conformance tests
+//! inline (`prop_*` live in `crates/engine/tests/equivalence.rs`,
+//! plain names in the unit-test module of the file that owns the
+//! mechanism); a change that touches a clause must keep its named
+//! tests green, and a new engine must pass all of them.
 //! 1. `make` is invoked once per node, in increasing node order, on the
-//!    calling thread.
+//!    calling thread. *Conformance:* every `prop_*_identical` case
+//!    (node-keyed outputs would drift under any other order);
+//!    `prop_bellman_ford_identical` is the simplest.
 //! 2. [`Program::init`] effects are observed as if nodes ran in
-//!    increasing node order.
+//!    increasing node order. *Conformance:*
+//!    `matches_simulator_on_flood` (`crates/engine/src/engine.rs`).
 //! 3. Per directed edge, messages form a FIFO: they are delivered in
 //!    the order they were staged, at most [`Executor::cap`] per round.
+//!    *Conformance:* `per_edge_fifo_order_is_preserved` and
+//!    `bandwidth_cap_pipelines_like_simulator`
+//!    (`crates/engine/src/engine.rs`); `prop_cap_ablation_identical`
+//!    sweeps caps.
 //! 4. A round's inbox at node `v` is ordered by edge id (and, per edge,
 //!    direction `u→v` before `v→u`), exactly matching the sequential
-//!    simulator's delivery loop.
+//!    simulator's delivery loop. *Conformance:*
+//!    `prop_broadcast_and_convergecast_identical` (collectives are
+//!    inbox-order-sensitive).
 //! 5. **Activation scheduling.** A node is *active* in round `r` iff
 //!    its round-`r` inbox is non-empty, or it reported
 //!    `is_quiescent() == false` at its previous activation boundary
@@ -28,20 +41,31 @@
 //!    [`Program::is_quiescent`] is evaluated once per activation
 //!    boundary and cached in between — programs must be
 //!    activation-correct (see [`Program`]) for skipping to be
-//!    unobservable.
+//!    unobservable. Both engines schedule through the shared
+//!    [`for_each_active`] merge. *Conformance:*
+//!    `prop_reactivation_identical` and
+//!    `prop_mst_frontier_totals_identical`; the activation validator
+//!    itself is pinned by
+//!    `validator_catches_programs_that_rely_on_dense_ticks`
+//!    (`crates/congest/src/sim.rs`).
 //! 6. Execution stops at the first round boundary where all queues are
 //!    empty and every program is quiescent (equivalently: the charged
 //!    edge set and the non-quiescent carryover set are both empty);
 //!    [`RunStats`] count the sent messages and executed rounds.
+//!    *Conformance:* `prop_slt_identical` (composite totals across
+//!    phases) and `non_quiescent_program_keeps_running`
+//!    (`crates/congest/src/sim.rs`).
 //! 7. **Per-edge message combining.** When the program declares a
 //!    combiner ([`Program::combine_key`]), a staged message whose key
 //!    matches a message still queued on the same directed edge is
 //!    merged into it *at enqueue time* via [`Program::combine`]; the
 //!    merged message keeps the earlier message's queue position, so at
 //!    most one message per `(directed edge, key)` is ever queued.
-//!    Engines must route every staging through the shared
-//!    [`CombQueue`](crate::CombQueue) so the merge semantics cannot
-//!    drift. Absorbed messages count in `RunStats::messages` (they were
+//!    Engines must route every staging through the shared arena slab
+//!    ([`Slab::stage`](crate::slab::Slab::stage)) so the merge
+//!    semantics cannot drift — and so queue storage stays
+//!    allocation-free in steady state (see [`crate::slab`]).
+//!    Absorbed messages count in `RunStats::messages` (they were
 //!    sent) and in `RunStats::messages_combined` (they were not
 //!    delivered individually); the physical delivery volume is
 //!    `RunStats::messages_delivered()`. Combining is a deterministic
@@ -50,6 +74,12 @@
 //!    outputs, `RunStats`, and [`FrontierStats`] on every conforming
 //!    engine — and where the bandwidth cap was the round bottleneck,
 //!    the shortened backlog legitimately shortens the run.
+//!    *Conformance:* `prop_combining_preserves_relaxation_outputs`,
+//!    `prop_combining_with_slack_cap_is_invisible`, and
+//!    `combiner_matches_simulator_bit_for_bit`
+//!    (`crates/engine/src/engine.rs`); the merge/position semantics
+//!    themselves are pinned by the unit tests in
+//!    `crates/congest/src/slab.rs`.
 //! 8. **Observer neutrality.** Observability (the [`crate::obs`]
 //!    subsystem: phase spans, per-node [`NodeStats`] recording, trace
 //!    sinks, metrics reports) is read-only: with observers attached or
@@ -60,7 +90,8 @@
 //!    (`wall_ms`-like values, `*_ns` phase times) may differ between
 //!    runs; anything pinning observability output must scrub exactly
 //!    those. Observers must never deliver, reorder, combine, or drop a
-//!    message, and never change the active set.
+//!    message, and never change the active set. *Conformance:*
+//!    `prop_node_histograms_sum_and_observers_are_neutral`.
 //! 9. **Round fusion.** An engine may execute several *consecutive*
 //!    rounds of a node region without globally synchronizing between
 //!    them, provided the fused window is closed: every node that can
@@ -81,13 +112,14 @@
 //!    region's round ran. Per-round accounting (clauses 6–8, including
 //!    per-round histogram/trace series) must still be reported as if
 //!    the global barriers had happened; only barrier wall-time may
-//!    legitimately drop to zero for fused rounds. The predicate and
-//!    its proof obligations are property-tested in
-//!    `crates/engine/tests/equivalence.rs` (fusion-heavy chain
-//!    workloads) and documented in `crates/engine/src/csr.rs`
-//!    (`ShardLocality`).
+//!    legitimately drop to zero for fused rounds. The predicate is
+//!    documented in `crates/engine/src/csr.rs` (`ShardLocality`).
+//!    *Conformance:* `prop_fusion_heavy_chains_identical`
+//!    (fusion-heavy chain workloads) and
+//!    `fused_blocks_keep_report_series_exact`
+//!    (`crates/engine/src/engine.rs`).
 //!
-//! Any engine honoring 1–7 produces bit-identical per-node outputs and
+//! Any engine honoring 1–9 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the
 //! parallel engine stand in for the simulator in experiments that
 //! report the paper's round counts. Because the active set of clause 5

@@ -25,10 +25,12 @@
 //! * [`collective`] — Lemma-1 collectives: pipelined broadcast to all
 //!   vertices in `O(M + D)` rounds and combining convergecast
 //!   (watermark-merged, `O(M + D)` rounds),
-//! * [`CombQueue`] — the shared per-edge combining queue behind the
-//!   opt-in clause-7 message combiner ([`Program::combine_key`]):
-//!   relaxation-style programs collapse co-queued superseded updates
-//!   instead of delivering the full churn,
+//! * [`slab`] — the shared arena-slab queue storage behind every
+//!   per-edge FIFO and the opt-in clause-7 message combiner
+//!   ([`Program::combine_key`]): pooled slots recycled across rounds
+//!   and runs (zero allocations per message in steady state), with
+//!   precomputed key→slot indices so relaxation-style programs collapse
+//!   co-queued superseded updates at the cost of an index load,
 //! * [`relax`] — the keyed-relaxation subsystem: canonical wire codec,
 //!   the lawful componentwise-min combiner, dense per-key distance
 //!   tables, and the ready-made [`relax::RelaxProgram`] every
@@ -75,13 +77,12 @@ pub mod exec;
 pub mod obs;
 pub mod program;
 pub mod relax;
+pub mod slab;
 pub mod tree;
 
-mod comb;
 mod message;
 mod sim;
 
-pub use comb::CombQueue;
 pub use exec::{for_each_active, Executor};
 pub use message::{pack2, unpack2, Message, Word, WORDS_PER_MESSAGE};
 pub use obs::{NodeStats, NodeSummary, RunReport, SharedTraceSink, SpanTree, TraceSink};

@@ -1,4 +1,18 @@
 //! Messages: `O(log n)`-bit payloads, at most a constant number of words.
+//!
+//! # Memory layout
+//!
+//! [`Message`] is a fixed-width **inline** value: a length tag plus a
+//! `[Word; WORDS_PER_MESSAGE]` payload array, stored directly in the
+//! struct with no heap indirection. Constructing, cloning, queueing, and
+//! delivering a message is a plain copy — the zero-allocation data path
+//! both engines rely on (see `DESIGN.md`, "Memory layout & the
+//! zero-alloc data path"). Payloads wider than [`WORDS_PER_MESSAGE`]
+//! (only reachable through [`Message::wide`], for "CONGEST with larger
+//! messages" ablations) spill to a boxed slice; the spill is a storage
+//! representation of the same word slice, so equality, hashing, FIFO
+//! order, and combining are width-agnostic and determinism is
+//! unaffected.
 
 /// One machine word of `O(log n)` bits (§2: "we assume a word size is
 /// log n bits"). Node ids, edge weights, and tour times all fit in one
@@ -10,10 +24,26 @@ pub type Word = u64;
 /// message in this repository while keeping the `O(log n)` spirit.
 pub const WORDS_PER_MESSAGE: usize = 4;
 
-/// A CONGEST message: between 1 and [`WORDS_PER_MESSAGE`] words.
+/// Storage of a message payload.
+///
+/// Invariants keeping the derived `PartialEq`/`Eq`/`Hash` canonical:
+/// `Inline` holds `1..=WORDS_PER_MESSAGE` words with every word past
+/// `len` zeroed; `Spill` holds strictly more than `WORDS_PER_MESSAGE`
+/// words. A given word slice therefore has exactly one representation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Inline {
+        len: u8,
+        words: [Word; WORDS_PER_MESSAGE],
+    },
+    Spill(Box<[Word]>),
+}
+
+/// A CONGEST message: between 1 and [`WORDS_PER_MESSAGE`] words, stored
+/// inline (no heap allocation; cloning is a fixed-size copy).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Message {
-    words: Vec<Word>,
+    repr: Repr,
 }
 
 impl Message {
@@ -29,14 +59,42 @@ impl Message {
             "CONGEST message must have 1..={WORDS_PER_MESSAGE} words, got {}",
             words.len()
         );
+        let mut inline = [0; WORDS_PER_MESSAGE];
+        inline[..words.len()].copy_from_slice(words);
         Message {
-            words: words.to_vec(),
+            repr: Repr::Inline {
+                len: words.len() as u8,
+                words: inline,
+            },
+        }
+    }
+
+    /// Creates a message of any positive width, spilling payloads wider
+    /// than [`WORDS_PER_MESSAGE`] to the heap. This is the entry point
+    /// for "CONGEST with larger messages" ablations (pair with
+    /// [`Executor::set_cap`](crate::Executor::set_cap)); regular
+    /// programs should use [`Message::words`], which enforces the
+    /// standard bandwidth bound and never allocates.
+    ///
+    /// # Panics
+    /// Panics if `words` is empty.
+    pub fn wide(words: &[Word]) -> Self {
+        assert!(!words.is_empty(), "CONGEST message must not be empty");
+        if words.len() <= WORDS_PER_MESSAGE {
+            Message::words(words)
+        } else {
+            Message {
+                repr: Repr::Spill(words.into()),
+            }
         }
     }
 
     /// The payload words.
     pub fn as_words(&self) -> &[Word] {
-        &self.words
+        match &self.repr {
+            Repr::Inline { len, words } => &words[..*len as usize],
+            Repr::Spill(words) => words,
+        }
     }
 
     /// The `i`-th payload word.
@@ -44,19 +102,22 @@ impl Message {
     /// # Panics
     /// Panics if `i` is out of range.
     pub fn word(&self, i: usize) -> Word {
-        self.words[i]
+        self.as_words()[i]
     }
 
     /// Number of words.
     pub fn len(&self) -> usize {
-        self.words.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Spill(words) => words.len(),
+        }
     }
 
     /// Whether the message has no words. [`Message::words`] rejects
     /// empty payloads, so this is `false` for every constructed
     /// message; it exists so `len` comes with the conventional pair.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len() == 0
     }
 }
 
@@ -101,6 +162,46 @@ mod tests {
     #[should_panic]
     fn rejects_empty_message() {
         let _ = Message::words(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wide_rejects_empty_message() {
+        let _ = Message::wide(&[]);
+    }
+
+    #[test]
+    fn wide_spills_past_the_inline_bound() {
+        let long: Vec<Word> = (0..WORDS_PER_MESSAGE as u64 + 3).collect();
+        let m = Message::wide(&long);
+        assert_eq!(m.as_words(), &long[..]);
+        assert_eq!(m.len(), long.len());
+        assert_eq!(m.clone(), m, "spilled messages clone and compare");
+    }
+
+    #[test]
+    fn wide_at_or_under_the_bound_stays_inline() {
+        // Same representation (hence equality/hash) as Message::words.
+        let m = Message::wide(&[4, 5]);
+        assert_eq!(m, Message::words(&[4, 5]));
+    }
+
+    #[test]
+    fn equality_ignores_padding_words() {
+        // Messages of equal content but different construction paths
+        // must compare (and hash) equal: the inline tail is canonical.
+        let a = Message::words(&[9]);
+        let b = Message::words(&[9, 1]);
+        assert_ne!(a, b);
+        assert_eq!(a, Message::wide(&[9]));
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digest = |m: &Message| {
+            let mut h = DefaultHasher::new();
+            m.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(digest(&a), digest(&Message::wide(&[9])));
     }
 
     #[test]

@@ -186,6 +186,29 @@ pub fn spans_active() -> bool {
 /// around the sub-executor and its span charges the sub-run, while an
 /// enclosing span on the parent sees the sub-run only through whatever
 /// the algorithm later `charge()`s back.
+///
+/// # Examples
+///
+/// Spans record per-phase round/message deltas only inside a
+/// [`collect_spans`] scope (and are free, observer-neutral pass-throughs
+/// outside one — contract clause 8):
+///
+/// ```
+/// use congest::obs::{collect_spans, span};
+/// use congest::tree::build_bfs_tree;
+/// use congest::{Executor, Simulator};
+/// use lightgraph::generators;
+///
+/// let g = generators::cycle(6, 1);
+/// let mut sim = Simulator::new(&g);
+/// let ((bfs, _stats), spans) = collect_spans(|| {
+///     span(&mut sim, "bfs", |exec| build_bfs_tree(exec, 0))
+/// });
+/// assert_eq!(bfs.root, 0);
+/// let node = spans.find("bfs").expect("span recorded");
+/// assert_eq!(node.stats.rounds, sim.total().rounds);
+/// assert!(node.invocations > 0);
+/// ```
 pub fn span<E: Executor, R>(exec: &mut E, name: &'static str, f: impl FnOnce(&mut E) -> R) -> R {
     if !spans_active() {
         return f(exec);

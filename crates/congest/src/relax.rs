@@ -48,6 +48,24 @@ const NO_PARENT: u64 = u64::MAX;
 /// module docs): `key` identifies the table slot, `dist` is the
 /// sender's estimate, `aux` rides along under the same componentwise
 /// minimum (hop counters, permutation ranks).
+///
+/// # Examples
+///
+/// The canonical 3-word wire format survives an encode/decode
+/// round-trip, and word 0 is the [`pack2`]-packed `(tag, key)` pair —
+/// exactly the clause-7 combining key:
+///
+/// ```
+/// use congest::pack2;
+/// use congest::relax::{combine_key, RelaxMsg};
+///
+/// let update = RelaxMsg { key: 3, dist: 17, aux: 2 };
+/// let wire = update.encode(9);
+/// assert_eq!(wire.len(), 3, "tag+key, dist, aux");
+/// assert_eq!(wire.word(0), pack2(9, 3));
+/// assert_eq!(combine_key(&wire), wire.word(0));
+/// assert_eq!(RelaxMsg::decode(9, &wire), update);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RelaxMsg {
     /// Table key (a source index or origin vertex; must fit 32 bits).

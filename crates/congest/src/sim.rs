@@ -1,11 +1,11 @@
 //! The sequential reference engine: per-edge FIFO queues with a
 //! bandwidth cap, frontier-scheduled rounds.
 
-use crate::comb::CombQueue;
 use crate::exec::Executor;
 use crate::message::Message;
 use crate::obs::{NodeStats, PhaseWall, RoundTrace, RunReport, SharedTraceSink};
 use crate::program::{Ctx, FrontierStats, Program, RunStats};
+use crate::slab::{EdgeQueue, Slab};
 use lightgraph::{EdgeId, Graph, NodeId};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -23,14 +23,18 @@ struct QueuedMsg {
 /// clause 7; returns `true` when the message was absorbed into a
 /// co-queued message instead of appending.
 fn stage_message<P: Program>(
-    q: &mut CombQueue<QueuedMsg>,
+    slab: &mut Slab<QueuedMsg>,
+    q: &mut EdgeQueue,
+    qi: usize,
     p: &P,
     from: NodeId,
     msg: Message,
     validate: bool,
 ) -> bool {
     let key = p.combine_key(&msg);
-    q.stage(
+    slab.stage(
+        q,
+        qi,
         key,
         QueuedMsg {
             from,
@@ -112,6 +116,16 @@ pub struct Simulator<'g> {
     /// Receiver of each directed edge `2 * edge_id + dir` (`dir` 0 =
     /// `u → v`), the queue-index convention shared with `engine::Csr`.
     receivers: Vec<NodeId>,
+    /// Arena storage recycled across runs ([`crate::slab`]): the entry
+    /// pool, the per-directed-edge queue headers, the charged flags,
+    /// and the per-node inboxes. All empty between runs — quiescence
+    /// drains every queue — but they keep their high-water capacity, so
+    /// the later phases of a composite algorithm stage and deliver
+    /// without allocating.
+    slab: Slab<QueuedMsg>,
+    heads: Vec<EdgeQueue>,
+    charged: Vec<bool>,
+    inboxes: Vec<Vec<(NodeId, Message)>>,
     last_report: Option<RunReport>,
     node_stats: Option<NodeStats>,
     trace: Option<SharedTraceSink>,
@@ -151,6 +165,10 @@ impl<'g> Simulator<'g> {
             frontier: FrontierStats::default(),
             edge_of,
             receivers,
+            slab: Slab::new(),
+            heads: vec![EdgeQueue::EMPTY; 2 * graph.m()],
+            charged: vec![false; 2 * graph.m()],
+            inboxes: vec![Vec::new(); graph.n()],
             last_report: None,
             node_stats: None,
             trace: None,
@@ -294,9 +312,14 @@ impl<'g> Simulator<'g> {
     {
         let n = self.graph.n();
         let mut programs: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
-        // queue index = 2 * edge_id + dir, dir 0 = u->v.
-        let mut queues: Vec<CombQueue<QueuedMsg>> =
-            (0..2 * self.graph.m()).map(|_| CombQueue::new()).collect();
+        // queue index = 2 * edge_id + dir, dir 0 = u->v. Queue storage
+        // is the persistent arena (left drained by the previous run's
+        // quiescence, with its high-water capacity intact), moved out
+        // of `self` for the duration of the run.
+        let mut slab = std::mem::take(&mut self.slab);
+        let mut heads = std::mem::take(&mut self.heads);
+        let mut inboxes = std::mem::take(&mut self.inboxes);
+        debug_assert!(heads.iter().all(EdgeQueue::is_empty));
         let mut stats = RunStats::default();
         let mut frontier = FrontierStats::default();
         let mut staged: Vec<(NodeId, Message)> = Vec::new();
@@ -318,7 +341,7 @@ impl<'g> Simulator<'g> {
         // that reported non-quiescent at their last activation
         // boundary, in ascending order.
         let receivers = &self.receivers;
-        let mut charged: Vec<bool> = vec![false; 2 * self.graph.m()];
+        let mut charged = std::mem::take(&mut self.charged);
         let mut charged_list: Vec<usize> = Vec::new();
         let mut charged_dirty = false;
         let mut carry: Vec<NodeId> = Vec::new();
@@ -355,7 +378,7 @@ impl<'g> Simulator<'g> {
                 if let Some(ns) = node_stats.as_mut() {
                     ns.sent[v] += 1;
                 }
-                if stage_message(&mut queues[qi], &*p, v, msg, validate) {
+                if stage_message(&mut slab, &mut heads[qi], qi, &*p, v, msg, validate) {
                     stats.messages_combined += 1;
                 } else if !charged[qi] {
                     charged[qi] = true;
@@ -368,7 +391,6 @@ impl<'g> Simulator<'g> {
             }
         }
 
-        let mut inboxes: Vec<Vec<(NodeId, Message)>> = vec![Vec::new(); n];
         let mut delivered: Vec<(NodeId, ())> = Vec::new();
         let mut still_charged: Vec<usize> = Vec::new();
         let mut next_carry: Vec<NodeId> = Vec::new();
@@ -406,7 +428,7 @@ impl<'g> Simulator<'g> {
                 }
                 let mut popped: u64 = 0;
                 for _ in 0..self.cap {
-                    match queues[qi].pop() {
+                    match slab.pop(&mut heads[qi], qi) {
                         Some((_, entry)) => {
                             if validate && entry.originals.len() > 1 {
                                 refold_check(&programs[entry.from], &entry);
@@ -424,7 +446,7 @@ impl<'g> Simulator<'g> {
                 if let Some(ns) = node_stats.as_mut() {
                     ns.delivered[target] += popped;
                 }
-                if queues[qi].is_empty() {
+                if heads[qi].is_empty() {
                     charged[qi] = false;
                 } else {
                     still_charged.push(qi);
@@ -469,7 +491,7 @@ impl<'g> Simulator<'g> {
                     if let Some(ns) = node_stats_ref.as_mut() {
                         ns.sent[v] += 1;
                     }
-                    if stage_message(&mut queues[qi], &*p, v, msg, validate) {
+                    if stage_message(&mut slab, &mut heads[qi], qi, &*p, v, msg, validate) {
                         stats.messages_combined += 1;
                     } else if !charged[qi] {
                         charged[qi] = true;
@@ -519,7 +541,7 @@ impl<'g> Simulator<'g> {
                 hist_depth.push(
                     charged_list
                         .iter()
-                        .map(|&qi| queues[qi].len() as u64)
+                        .map(|&qi| heads[qi].len() as u64)
                         .max()
                         .unwrap_or(0),
                 );
@@ -540,6 +562,13 @@ impl<'g> Simulator<'g> {
             }
         }
 
+        // Quiescence drained every queue; hand the arena (entry pool,
+        // headers, flags, inboxes — all at high-water capacity) back to
+        // `self` for the next run.
+        self.slab = slab;
+        self.heads = heads;
+        self.charged = charged;
+        self.inboxes = inboxes;
         frontier.rounds = stats.rounds;
         self.total.absorb(stats);
         self.frontier.absorb(frontier);

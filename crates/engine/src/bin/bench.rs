@@ -456,6 +456,10 @@ fn main() {
         }
         eprintln!("bench: if this change is intentional, regenerate the baseline with");
         eprintln!("bench:   cargo run --release -p engine --bin bench");
+        eprintln!(
+            "bench: column meanings and the regeneration workflow are documented in \
+             README.md under \"Performance guide\""
+        );
         std::process::exit(1);
     }
 

@@ -55,6 +55,17 @@
 //! non-quiescent; a shared non-quiescent counter replaces full
 //! `is_quiescent` sweeps.
 //!
+//! # Memory layout
+//!
+//! The message data path is allocation-free in steady state (see
+//! `DESIGN.md`, "Memory layout & the zero-alloc data path"): messages
+//! are fixed-width inline values ([`congest::Message`]), queue storage
+//! is pooled [`congest::slab`] cells keyed by *(sender shard, receiver
+//! shard)* — the same disjointness pattern as the `touched` buckets —
+//! and the whole arena ([`RunArena`]) is recycled across rounds *and*
+//! runs, so a composite algorithm's later phases reuse the capacity of
+//! its first.
+//!
 //! # Why this is deterministic
 //!
 //! The sequential simulator's only ordering guarantees are (a) per
@@ -76,9 +87,9 @@ use crate::csr::{Csr, DirectedId, ShardLocality};
 use crate::pool::WorkerPool;
 use crate::report::EngineReport;
 use congest::obs::{PhaseWall, RoundTrace};
+use congest::slab::{EdgeQueue, Slab};
 use congest::{
-    CombQueue, Ctx, Executor, FrontierStats, Message, NodeStats, Program, RunStats,
-    SharedTraceSink, Word, WORDS_PER_MESSAGE,
+    Ctx, Executor, FrontierStats, Message, NodeStats, Program, RunStats, SharedTraceSink,
 };
 use lightgraph::{Graph, NodeId};
 use std::marker::PhantomData;
@@ -104,30 +115,6 @@ const CTRL_FUSED: u64 = 2;
 const CTRL_QUIESCENT: u64 = 3;
 const CTRL_LIVELOCKED: u64 = 4;
 const CTRL_ABORTED: u64 = 5;
-
-/// A message stored inline in an edge queue (no per-message heap
-/// allocation while queued; the `Message` is materialized at delivery).
-#[derive(Debug, Clone, Copy)]
-struct InlineMsg {
-    len: u8,
-    words: [Word; WORDS_PER_MESSAGE],
-}
-
-impl InlineMsg {
-    fn pack(msg: &Message) -> Self {
-        let src = msg.as_words();
-        let mut words = [0; WORDS_PER_MESSAGE];
-        words[..src.len()].copy_from_slice(src);
-        InlineMsg {
-            len: src.len() as u8,
-            words,
-        }
-    }
-
-    fn unpack(&self) -> Message {
-        Message::words(&self.words[..self.len as usize])
-    }
-}
 
 /// A slice shared across workers with externally-guaranteed disjoint
 /// index access.
@@ -310,6 +297,28 @@ struct ShardState {
     fused: Vec<FusedRound>,
 }
 
+/// The run-to-run queue arena ([`congest::slab`]): slab cells keyed by
+/// *(sender shard, receiver shard)*, per-directed-edge queue headers,
+/// charged flags, touched buckets, and per-shard state. Quiescence
+/// drains every queue, so between runs everything is empty but keeps
+/// its high-water capacity — the later phases of a composite algorithm
+/// (SLT = tree + spanner + contractions on one engine) stage and
+/// deliver without allocating. Cell access mirrors the `touched`
+/// buckets: compute writes row `s`, deliver drains column `s`, fused
+/// blocks stay within column `s` (stagings are diagonal by clause 9) —
+/// disjoint across shards in every phase. Rebuilt when the shard plan
+/// changes size (stress mode); dropped, not reused, after an aborted
+/// or livelocked run, whose queues may be non-empty.
+#[derive(Default)]
+struct RunArena {
+    nshards: usize,
+    slabs: Vec<Slab<Message>>,
+    heads: Vec<EdgeQueue>,
+    charged: Vec<bool>,
+    touched: Vec<Vec<DirectedId>>,
+    states: Vec<ShardState>,
+}
+
 /// Exact per-round accounting a shard writes during a fused block;
 /// worker 0 merges these across shards at the next decision point so
 /// histograms/traces match the barriered schedule bit for bit.
@@ -358,6 +367,7 @@ pub struct Engine<'g> {
     wall_total: PhaseWall,
     pool: Option<Arc<WorkerPool>>,
     stress_seed: Option<u64>,
+    arena: RunArena,
 }
 
 impl<'g> std::fmt::Debug for Engine<'g> {
@@ -413,6 +423,7 @@ impl<'g> Engine<'g> {
             wall_total: PhaseWall::default(),
             pool: None,
             stress_seed: None,
+            arena: RunArena::default(),
         }
     }
 
@@ -528,22 +539,27 @@ impl<'g> Engine<'g> {
 
         // `make` runs on the calling thread, in node order (contract).
         let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
-        // Combining queues (contract clause 7): staged messages whose
-        // key matches a co-queued message merge in place. Staging goes
-        // through the shared `congest::CombQueue`, so the merge
-        // semantics are the simulator's by construction.
-        let mut queues: Vec<CombQueue<InlineMsg>> =
-            (0..csr.directed_len()).map(|_| CombQueue::new()).collect();
-        // `charged[d]` ⇔ queue `d` is non-empty ⇔ `d` sits in exactly
-        // one receiver-side carryover list or touched bucket. Written by
-        // the unique sender shard during compute/init, cleared by the
-        // unique receiver shard during deliver.
-        let mut charged: Vec<bool> = vec![false; csr.directed_len()];
-        // `touched[s * nshards + r]`: edges freshly charged by sender
-        // shard `s` whose receiver lives in shard `r`. Rows written
-        // during compute, columns drained during deliver; both disjoint.
-        let mut touched: Vec<Vec<DirectedId>> = vec![Vec::new(); nshards * nshards];
-        let mut states: Vec<ShardState> = (0..nshards).map(|_| ShardState::default()).collect();
+        // Queue storage is the persistent arena (see `RunArena`):
+        // staging goes through the shared `congest::slab` (contract
+        // clause 7), so the merge semantics are the simulator's by
+        // construction. `charged[d]` ⇔ queue `d` is non-empty ⇔ `d`
+        // sits in exactly one receiver-side carryover list or touched
+        // bucket — written by the unique sender shard during
+        // compute/init, cleared by the unique receiver shard during
+        // deliver. `touched[s * nshards + r]` holds the edges freshly
+        // charged by sender shard `s` toward receiver shard `r`.
+        let mut run_arena = std::mem::take(&mut self.arena);
+        if run_arena.heads.len() != csr.directed_len() {
+            run_arena.heads = vec![EdgeQueue::EMPTY; csr.directed_len()];
+            run_arena.charged = vec![false; csr.directed_len()];
+        }
+        if run_arena.nshards != nshards {
+            run_arena.nshards = nshards;
+            run_arena.slabs = (0..nshards * nshards).map(|_| Slab::new()).collect();
+            run_arena.touched = vec![Vec::new(); nshards * nshards];
+            run_arena.states = (0..nshards).map(|_| ShardState::default()).collect();
+        }
+        debug_assert!(run_arena.heads.iter().all(EdgeQueue::is_empty));
         let mut per_directed: Vec<u64> = if record {
             vec![0; csr.directed_len()]
         } else {
@@ -567,10 +583,11 @@ impl<'g> Engine<'g> {
 
         {
             let programs_sh = SharedSlice::new(&mut programs);
-            let queues_sh = SharedSlice::new(&mut queues);
-            let charged_sh = SharedSlice::new(&mut charged);
-            let touched_sh = SharedSlice::new(&mut touched);
-            let states_sh = SharedSlice::new(&mut states);
+            let slabs_sh = SharedSlice::new(&mut run_arena.slabs);
+            let heads_sh = SharedSlice::new(&mut run_arena.heads);
+            let charged_sh = SharedSlice::new(&mut run_arena.charged);
+            let touched_sh = SharedSlice::new(&mut run_arena.touched);
+            let states_sh = SharedSlice::new(&mut run_arena.states);
             let per_directed_sh = SharedSlice::new(&mut per_directed);
             let in_backlog_sh = SharedSlice::new(&mut in_backlog);
             let ns_sent_sh = SharedSlice::new(&mut node_stats.sent);
@@ -659,27 +676,25 @@ impl<'g> Engine<'g> {
                 let stage_one = |p: &P,
                                  v: NodeId,
                                  to: NodeId,
-                                 msg: &Message,
+                                 msg: Message,
                                  row: usize,
                                  backlog: &mut Vec<DirectedId>| {
                     let d = csr.out_id(v, to);
-                    let key = p.combine_key(msg);
-                    let merged = unsafe { queues_sh.get_mut(d) }.stage(
-                        key,
-                        InlineMsg::pack(msg),
-                        |old, new| {
-                            let m = p.combine(&old.unpack(), &new.unpack());
-                            debug_assert_eq!(p.combine_key(&m), key, "combiner changed the key");
-                            *old = InlineMsg::pack(&m);
-                        },
-                    );
+                    let key = p.combine_key(&msg);
+                    let r = shard_of[to] as usize;
+                    let cell = unsafe { slabs_sh.get_mut(row * nshards + r) };
+                    let q = unsafe { heads_sh.get_mut(d) };
+                    let merged = cell.stage(q, d, key, msg, |old, new| {
+                        let m = p.combine(old, &new);
+                        debug_assert_eq!(p.combine_key(&m), key, "combiner changed the key");
+                        *old = m;
+                    });
                     if merged {
                         return true;
                     }
                     let ch = unsafe { charged_sh.get_mut(d) };
                     if !*ch {
                         *ch = true;
-                        let r = shard_of[to] as usize;
                         unsafe { touched_sh.get_mut(row * nshards + r) }.push(d);
                     }
                     if record {
@@ -748,12 +763,15 @@ impl<'g> Engine<'g> {
                             Some(&mut (node, _)) if node == v => {}
                             _ => inbox_ranges.push((v, (arena.len(), arena.len()))),
                         }
-                        let q = unsafe { queues_sh.get_mut(d) };
+                        let from = senders[d];
+                        let cell =
+                            unsafe { slabs_sh.get_mut(shard_of[from] as usize * nshards + s) };
+                        let q = unsafe { heads_sh.get_mut(d) };
                         let mut popped = 0u64;
                         while popped < cap as u64 {
-                            match q.pop() {
-                                Some((_, im)) => {
-                                    arena.push((senders[d], im.unpack()));
+                            match cell.pop(q, d) {
+                                Some((_, m)) => {
+                                    arena.push((from, m));
                                     popped += 1;
                                 }
                                 None => break,
@@ -817,7 +835,7 @@ impl<'g> Engine<'g> {
                                 if track_nodes {
                                     *unsafe { ns_sent_sh.get_mut(v) } += 1;
                                 }
-                                if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                if stage_one(p, v, to, msg, s, &mut *out_backlog) {
                                     combined += 1;
                                 } else {
                                     delta += 1;
@@ -844,7 +862,7 @@ impl<'g> Engine<'g> {
                         // frontier-proportional cost.
                         let mut depth = 0u64;
                         out_backlog.retain(|&d| {
-                            let len = unsafe { queues_sh.get_mut(d) }.len() as u64;
+                            let len = unsafe { heads_sh.get_mut(d) }.len() as u64;
                             if len == 0 {
                                 *unsafe { in_backlog_sh.get_mut(d) } = false;
                                 false
@@ -913,12 +931,15 @@ impl<'g> Engine<'g> {
                                 Some(&mut (node, _)) if node == v => {}
                                 _ => inbox_ranges.push((v, (arena.len(), arena.len()))),
                             }
-                            let q = unsafe { queues_sh.get_mut(d) };
+                            let from = senders[d];
+                            let cell =
+                                unsafe { slabs_sh.get_mut(shard_of[from] as usize * nshards + s) };
+                            let q = unsafe { heads_sh.get_mut(d) };
                             let mut popped = 0u64;
                             while popped < cap as u64 {
-                                match q.pop() {
-                                    Some((_, im)) => {
-                                        arena.push((senders[d], im.unpack()));
+                                match cell.pop(q, d) {
+                                    Some((_, m)) => {
+                                        arena.push((from, m));
                                         popped += 1;
                                     }
                                     None => break,
@@ -965,7 +986,7 @@ impl<'g> Engine<'g> {
                                     if track_nodes {
                                         *unsafe { ns_sent_sh.get_mut(v) } += 1;
                                     }
-                                    if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                    if stage_one(p, v, to, msg, s, &mut *out_backlog) {
                                         b_combined += 1;
                                     } else {
                                         b_pending += 1;
@@ -981,7 +1002,7 @@ impl<'g> Engine<'g> {
                         if record {
                             let mut depth = 0u64;
                             out_backlog.retain(|&d| {
-                                let len = unsafe { queues_sh.get_mut(d) }.len() as u64;
+                                let len = unsafe { heads_sh.get_mut(d) }.len() as u64;
                                 if len == 0 {
                                     *unsafe { in_backlog_sh.get_mut(d) } = false;
                                     false
@@ -1043,7 +1064,7 @@ impl<'g> Engine<'g> {
                                 if track_nodes {
                                     *unsafe { ns_sent_sh.get_mut(v) } += 1;
                                 }
-                                if stage_one(p, v, to, &msg, s, &mut *out_backlog) {
+                                if stage_one(p, v, to, msg, s, &mut *out_backlog) {
                                     combined += 1;
                                 } else {
                                     delta += 1;
@@ -1338,6 +1359,10 @@ impl<'g> Engine<'g> {
         if livelocked {
             panic!("CONGEST run exceeded {max_rounds} rounds — livelocked program?");
         }
+        // Quiescence drained every queue (pending == 0); keep the arena
+        // for the next run. Aborted/livelocked runs unwind above and
+        // drop it instead — their queues may be non-empty.
+        self.arena = run_arena;
         debug_assert_eq!(
             delivered_total,
             stats.messages_delivered(),
@@ -1450,7 +1475,7 @@ impl<'g> Executor for Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use congest::Simulator;
+    use congest::{Simulator, Word};
     use lightgraph::generators;
 
     struct Flood {
