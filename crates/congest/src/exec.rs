@@ -119,6 +119,26 @@
 //!    `fused_blocks_keep_report_series_exact`
 //!    (`crates/engine/src/engine.rs`).
 //!
+//! **Plan reuse note.** Clauses 1–9 make every observable quantity a
+//! pure function of `(graph, programs, cap)` — plus, for a stressed
+//! engine, the stress seed that picked the shard plan. Nothing
+//! observable depends on *when or how often* an engine derived its
+//! internal structure from those inputs. Engines may therefore cache
+//! and share anything computed from the input topology alone — CSR
+//! indices, routing maps, shard bounds and locality distances, pooled
+//! queue arenas and dense-table storage — across runs, sub-runs, and
+//! sub-executors, with no invalidation protocol beyond keying by the
+//! inputs themselves (topology fingerprint; `(threads, stress seed)`
+//! for shard plans, so stress cuts key the cache rather than bypass
+//! it). Reused storage must be *logically* reset: epoch-stamped lazy
+//! resets are fine, reading a previous run's bytes is not. The session
+//! layer lives in [`crate::plan`] (shared cache) and
+//! `crates/engine/src/plan.rs` (engine structures). *Conformance:*
+//! `crates/engine/tests/plan_cache.rs` (warm vs cold bit-identity
+//! across threads and stress seeds) and the composite-workload case of
+//! `crates/engine/tests/alloc_guard.rs` (zero per-sub-run setup
+//! allocations once warmed).
+//!
 //! Any engine honoring 1–9 produces bit-identical per-node outputs and
 //! `RunStats` for deterministic programs, which is what lets the
 //! parallel engine stand in for the simulator in experiments that

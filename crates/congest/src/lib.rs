@@ -75,6 +75,7 @@
 pub mod collective;
 pub mod exec;
 pub mod obs;
+pub mod plan;
 pub mod program;
 pub mod relax;
 pub mod slab;

@@ -4,10 +4,12 @@
 use crate::exec::Executor;
 use crate::message::Message;
 use crate::obs::{NodeStats, PhaseWall, RoundTrace, RunReport, SharedTraceSink};
+use crate::plan::TopoCache;
 use crate::program::{Ctx, FrontierStats, Program, RunStats};
 use crate::slab::{EdgeQueue, Slab};
 use lightgraph::{EdgeId, Graph, NodeId};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One queued message in the simulator: the sender, the (possibly
@@ -85,6 +87,50 @@ fn refold_check<P: Program>(p: &P, entry: &QueuedMsg) {
     );
 }
 
+/// Topology-derived routing for the simulator, cached per root
+/// executor and shared with every sub-executor (see [`crate::plan`]):
+/// the neighbor → edge-id maps and the directed-edge receiver table.
+/// Both are pure functions of the endpoint list, so reuse is
+/// semantics-invisible (contract "plan reuse" note in [`crate::exec`]).
+struct SimTopo {
+    edge_of: Vec<HashMap<NodeId, EdgeId>>,
+    /// Receiver of each directed edge `2 * edge_id + dir` (`dir` 0 =
+    /// `u → v`), the queue-index convention shared with `engine::Csr`.
+    receivers: Vec<NodeId>,
+}
+
+impl SimTopo {
+    fn build(graph: &Graph) -> Self {
+        let mut edge_of: Vec<HashMap<NodeId, EdgeId>> = vec![HashMap::new(); graph.n()];
+        let mut receivers: Vec<NodeId> = Vec::with_capacity(2 * graph.m());
+        for (id, e) in graph.edges().iter().enumerate() {
+            edge_of[e.u].entry(e.v).or_insert(id);
+            edge_of[e.v].entry(e.u).or_insert(id);
+            receivers.push(e.v);
+            receivers.push(e.u);
+        }
+        SimTopo { edge_of, receivers }
+    }
+}
+
+/// Per-run scratch kept across runs (epoch-free: every list is left or
+/// made empty at run start, so only capacity survives). Part of the
+/// run-session layer: a composite algorithm's hundreds of sub-runs
+/// reuse these instead of reallocating them.
+#[derive(Default)]
+struct SimScratch {
+    staged: Vec<(NodeId, Message)>,
+    charged_list: Vec<usize>,
+    carry: Vec<NodeId>,
+    delivered: Vec<(NodeId, ())>,
+    still_charged: Vec<usize>,
+    next_carry: Vec<NodeId>,
+    active_scratch: Vec<NodeId>,
+    /// Record-mode per-directed-edge delivery counters (zero-filled at
+    /// the start of each recording run).
+    per_directed: Vec<u64>,
+}
+
 /// The CONGEST network simulator.
 ///
 /// Holds per-directed-edge FIFO queues and executes [`Program`]s in
@@ -110,12 +156,13 @@ pub struct Simulator<'g> {
     max_rounds: u64,
     validate_activation: bool,
     record_metrics: bool,
+    time_phases: bool,
     total: RunStats,
     frontier: FrontierStats,
-    edge_of: Vec<HashMap<NodeId, EdgeId>>,
-    /// Receiver of each directed edge `2 * edge_id + dir` (`dir` 0 =
-    /// `u → v`), the queue-index convention shared with `engine::Csr`.
-    receivers: Vec<NodeId>,
+    /// Topology-derived routing, shared with sub-executors through
+    /// `plans`.
+    topo: Arc<SimTopo>,
+    plans: Arc<TopoCache<SimTopo>>,
     /// Arena storage recycled across runs ([`crate::slab`]): the entry
     /// pool, the per-directed-edge queue headers, the charged flags,
     /// and the per-node inboxes. All empty between runs — quiescence
@@ -126,10 +173,12 @@ pub struct Simulator<'g> {
     heads: Vec<EdgeQueue>,
     charged: Vec<bool>,
     inboxes: Vec<Vec<(NodeId, Message)>>,
+    scratch: SimScratch,
     last_report: Option<RunReport>,
     node_stats: Option<NodeStats>,
     trace: Option<SharedTraceSink>,
     wall_total: PhaseWall,
+    setup_total_ns: u64,
 }
 
 impl<'g> std::fmt::Debug for Simulator<'g> {
@@ -147,32 +196,35 @@ impl<'g> Simulator<'g> {
     /// Creates a simulator for `graph` with bandwidth cap 1 (the
     /// standard CONGEST bound: one message per edge per round).
     pub fn new(graph: &'g Graph) -> Self {
-        let mut edge_of: Vec<HashMap<NodeId, EdgeId>> = vec![HashMap::new(); graph.n()];
-        let mut receivers: Vec<NodeId> = Vec::with_capacity(2 * graph.m());
-        for (id, e) in graph.edges().iter().enumerate() {
-            edge_of[e.u].entry(e.v).or_insert(id);
-            edge_of[e.v].entry(e.u).or_insert(id);
-            receivers.push(e.v);
-            receivers.push(e.u);
-        }
+        Simulator::with_plans(graph, Arc::new(TopoCache::new()))
+    }
+
+    /// Shared-cache constructor used by [`Executor::sub`]: a composite
+    /// algorithm's sub-executors look their routing tables up in the
+    /// root's plan cache instead of rebuilding them per sub-graph.
+    fn with_plans(graph: &'g Graph, plans: Arc<TopoCache<SimTopo>>) -> Self {
+        let topo = plans.get_or_build(graph, SimTopo::build);
         Simulator {
             graph,
             cap: 1,
             max_rounds: 50_000_000,
             validate_activation: false,
             record_metrics: false,
+            time_phases: false,
             total: RunStats::default(),
             frontier: FrontierStats::default(),
-            edge_of,
-            receivers,
+            topo,
+            plans,
             slab: Slab::new(),
             heads: vec![EdgeQueue::EMPTY; 2 * graph.m()],
             charged: vec![false; 2 * graph.m()],
             inboxes: vec![Vec::new(); graph.n()],
+            scratch: SimScratch::default(),
             last_report: None,
             node_stats: None,
             trace: None,
             wall_total: PhaseWall::default(),
+            setup_total_ns: 0,
         }
     }
 
@@ -236,6 +288,16 @@ impl<'g> Simulator<'g> {
         self.record_metrics = record;
     }
 
+    /// Enables per-phase wall sampling on its own — the cheap slice of
+    /// metrics recording (a few clock reads per round, no `O(m)`
+    /// scans), enough to populate [`Simulator::wall_total`] and the
+    /// process-wide breakdown accumulators in [`crate::plan`].
+    /// Implied by metrics recording and tracing; observer-neutral
+    /// (contract clause 8).
+    pub fn set_time_phases(&mut self, time: bool) {
+        self.time_phases = time;
+    }
+
     /// Instrumentation from the most recent run, if
     /// [`Simulator::set_record_metrics`] was enabled. The deterministic
     /// fields are bit-identical to the parallel engine's report for the
@@ -249,6 +311,15 @@ impl<'g> Simulator<'g> {
     /// Zero unless metrics recording or tracing was enabled.
     pub fn wall_total(&self) -> PhaseWall {
         self.wall_total
+    }
+
+    /// Cumulative per-run setup wall (program construction plus
+    /// scratch/arena acquisition, before the first delivery) over every
+    /// run driven directly on this simulator. Always measured — it is
+    /// two clock reads per run — so the setup floor is visible without
+    /// enabling metrics recording.
+    pub fn setup_total_ns(&self) -> u64 {
+        self.setup_total_ns
     }
 
     /// Enables or disables per-node accounting (see
@@ -310,19 +381,39 @@ impl<'g> Simulator<'g> {
         P: Program,
         F: FnMut(NodeId, &Graph) -> P,
     {
+        let t_setup = Instant::now();
         let n = self.graph.n();
+        let topo = self.topo.clone();
         let mut programs: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         // queue index = 2 * edge_id + dir, dir 0 = u->v. Queue storage
         // is the persistent arena (left drained by the previous run's
         // quiescence, with its high-water capacity intact), moved out
-        // of `self` for the duration of the run.
+        // of `self` for the duration of the run. The per-run scratch
+        // lists are part of the same session arena: cleared, never
+        // reallocated.
         let mut slab = std::mem::take(&mut self.slab);
         let mut heads = std::mem::take(&mut self.heads);
         let mut inboxes = std::mem::take(&mut self.inboxes);
         debug_assert!(heads.iter().all(EdgeQueue::is_empty));
+        let SimScratch {
+            mut staged,
+            mut charged_list,
+            mut carry,
+            mut delivered,
+            mut still_charged,
+            mut next_carry,
+            mut active_scratch,
+            mut per_directed,
+        } = std::mem::take(&mut self.scratch);
+        staged.clear();
+        charged_list.clear();
+        carry.clear();
+        delivered.clear();
+        still_charged.clear();
+        next_carry.clear();
+        active_scratch.clear();
         let mut stats = RunStats::default();
         let mut frontier = FrontierStats::default();
-        let mut staged: Vec<(NodeId, Message)> = Vec::new();
 
         let queue_index = |edge_of: &Vec<HashMap<NodeId, EdgeId>>, from: NodeId, to: NodeId| {
             let e = *edge_of[from]
@@ -340,11 +431,9 @@ impl<'g> Simulator<'g> {
         // is non-empty ⇔ `qi ∈ charged_list`. `carry` holds the nodes
         // that reported non-quiescent at their last activation
         // boundary, in ascending order.
-        let receivers = &self.receivers;
+        let receivers = &topo.receivers;
         let mut charged = std::mem::take(&mut self.charged);
-        let mut charged_list: Vec<usize> = Vec::new();
         let mut charged_dirty = false;
-        let mut carry: Vec<NodeId> = Vec::new();
 
         // Observability (contract clause 8: everything below is
         // read-only bookkeeping). Per-node counters are moved out of
@@ -356,16 +445,18 @@ impl<'g> Simulator<'g> {
             .trace
             .as_ref()
             .map(|s| (s.clone(), s.lock().expect("trace sink").begin_run("sim")));
-        let timed = record || trace_run.is_some();
-        let mut per_directed: Vec<u64> = if record {
-            vec![0; 2 * self.graph.m()]
-        } else {
-            Vec::new()
-        };
+        let timed = record || trace_run.is_some() || self.time_phases;
+        if record {
+            per_directed.clear();
+            per_directed.resize(2 * self.graph.m(), 0);
+        }
         let mut hist_msgs: Vec<u64> = Vec::new();
         let mut hist_depth: Vec<u64> = Vec::new();
         let mut hist_active: Vec<u64> = Vec::new();
         let mut wall = PhaseWall::default();
+        let setup_ns = t_setup.elapsed().as_nanos() as u64;
+        self.setup_total_ns += setup_ns;
+        crate::plan::add_setup_ns(setup_ns);
 
         // init
         let validate = self.validate_activation;
@@ -373,7 +464,7 @@ impl<'g> Simulator<'g> {
             let mut ctx = Ctx::new(v, n, 0, self.graph.neighbors(v), &mut staged);
             p.init(&mut ctx);
             for (to, msg) in staged.drain(..) {
-                let qi = queue_index(&self.edge_of, v, to);
+                let qi = queue_index(&topo.edge_of, v, to);
                 stats.messages += 1;
                 if let Some(ns) = node_stats.as_mut() {
                     ns.sent[v] += 1;
@@ -391,10 +482,6 @@ impl<'g> Simulator<'g> {
             }
         }
 
-        let mut delivered: Vec<(NodeId, ())> = Vec::new();
-        let mut still_charged: Vec<usize> = Vec::new();
-        let mut next_carry: Vec<NodeId> = Vec::new();
-        let mut active_scratch: Vec<NodeId> = Vec::new();
         loop {
             // Contract clause 6: charged edges empty ⇔ all queues
             // empty; carry empty ⇔ every program quiescent.
@@ -486,7 +573,7 @@ impl<'g> Simulator<'g> {
                     ns.invocations[v] += 1;
                 }
                 for (to, msg) in staged.drain(..) {
-                    let qi = queue_index(&self.edge_of, v, to);
+                    let qi = queue_index(&topo.edge_of, v, to);
                     stats.messages += 1;
                     if let Some(ns) = node_stats_ref.as_mut() {
                         ns.sent[v] += 1;
@@ -563,17 +650,30 @@ impl<'g> Simulator<'g> {
         }
 
         // Quiescence drained every queue; hand the arena (entry pool,
-        // headers, flags, inboxes — all at high-water capacity) back to
-        // `self` for the next run.
+        // headers, flags, inboxes, scratch lists — all at high-water
+        // capacity) back to `self` for the next run.
         self.slab = slab;
         self.heads = heads;
         self.charged = charged;
         self.inboxes = inboxes;
+        self.scratch = SimScratch {
+            staged,
+            charged_list,
+            carry,
+            delivered,
+            still_charged,
+            next_carry,
+            active_scratch,
+            per_directed,
+        };
         frontier.rounds = stats.rounds;
         self.total.absorb(stats);
         self.frontier.absorb(frontier);
         self.node_stats = node_stats;
         self.wall_total.absorb(wall);
+        if timed {
+            crate::plan::add_phase_wall_ns(wall.deliver_ns, wall.compute_ns, wall.barrier_ns);
+        }
         if record {
             self.last_report = Some(RunReport {
                 rounds: stats.rounds,
@@ -583,7 +683,7 @@ impl<'g> Simulator<'g> {
                 messages_per_round: hist_msgs,
                 max_queue_depth_per_round: hist_depth,
                 active_per_round: hist_active,
-                hot_edges: RunReport::rank_hot_edges(&per_directed),
+                hot_edges: RunReport::rank_hot_edges(&self.scratch.per_directed),
                 threads: 1,
                 wall,
             });
@@ -596,11 +696,15 @@ impl<'g> Executor for Simulator<'g> {
     type Sub<'h> = Simulator<'h>;
 
     fn sub<'h>(&self, graph: &'h Graph) -> Simulator<'h> {
-        let mut sub = Simulator::new(graph);
+        // Sub-executors share the root's topology-plan cache: spawning
+        // a sub on a previously-seen topology reuses its routing tables
+        // instead of rebuilding the `O(n + m)` hash maps.
+        let mut sub = Simulator::with_plans(graph, self.plans.clone());
         sub.cap = self.cap;
         sub.max_rounds = self.max_rounds;
         sub.validate_activation = self.validate_activation;
         sub.record_metrics = self.record_metrics;
+        sub.time_phases = self.time_phases;
         if self.node_stats.is_some() {
             sub.set_record_node_stats(true);
         }

@@ -22,8 +22,12 @@
 //! leaders, then a selective intra-fragment flood). Borůvka halving
 //! gives `O(log n)` global phases. Neighbor fragment ids are kept in a
 //! persistent per-edge table (`NbrTable`) refreshed *incrementally*:
-//! only vertices whose id changed re-announce, so the `2m` full
-//! exchange is paid once, not once per phase.
+//! only vertices whose id changed re-announce, and only across their
+//! cross-fragment edges — same-fragment neighbors made the identical
+//! relabel move and repair their entries locally. The table opens at
+//! identity knowledge (neighbor ids are readable off the edge list in
+//! CONGEST), so the historical `2m` opening flood is never paid and
+//! every refresh charges only the boundary of what actually merged.
 //!
 //! Ties are broken by `(weight, edge id)` throughout, which makes edge
 //! weights effectively unique, the MST unique, and the distributed
@@ -91,17 +95,24 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// One announcement round of the incremental exchange: a vertex with
-/// `frag = Some(f)` tells all neighbors its (new) fragment id.
+/// `announce = Some((f, targets))` tells exactly `targets` (in
+/// neighbor-slot order, matching `send_all`'s order) its new fragment
+/// id `f`. Targets are the neighbors whose [`NbrTable`] entry for this
+/// vertex is actually stale — see [`NbrTable::refresh`] for why
+/// same-fragment neighbors need no message.
 struct Announce {
-    frag: Option<u64>,
+    announce: Option<(u64, Vec<NodeId>)>,
     heard: Vec<(NodeId, u64)>,
 }
 
 impl Program for Announce {
     type Output = Vec<(NodeId, u64)>;
     fn init(&mut self, ctx: &mut Ctx<'_>) {
-        if let Some(f) = self.frag {
-            ctx.send_all(Message::words(&[TAG_FRAG, f]));
+        if let Some((f, targets)) = self.announce.take() {
+            let msg = Message::words(&[TAG_FRAG, f]);
+            for u in targets {
+                ctx.send(u, msg.clone());
+            }
         }
     }
     fn round(&mut self, _ctx: &mut Ctx<'_>, inbox: &[(NodeId, Message)]) {
@@ -116,12 +127,14 @@ impl Program for Announce {
 }
 
 /// Persistent neighbor-fragment table: `frag_at[v][i]` holds the latest
-/// fragment id announced by the `i`-th neighbor of `v` (slot-aligned
-/// with `g.neighbors(v)`, a dense `Vec` rather than a per-round
-/// `HashMap`). [`NbrTable::refresh`] is *incremental*: a vertex
-/// re-announces only when its fragment id changed since its last
-/// announcement, so the first refresh costs `2m` messages and every
-/// later one charges only the endpoints a merge actually relabeled.
+/// fragment id known for the `i`-th neighbor of `v` (slot-aligned with
+/// `g.neighbors(v)`, a dense `Vec` rather than a per-round `HashMap`).
+/// The table opens at identity knowledge (see [`NbrTable::new`]) and
+/// [`NbrTable::refresh`] is *incremental*: a vertex re-announces only
+/// when its fragment id changed since its last announcement, and only
+/// across edges whose far endpoint cannot deduce the change locally —
+/// each refresh charges only the cross-fragment boundary of what
+/// actually merged, never a `2m` flood.
 struct NbrTable {
     /// Neighbor id → slot, built once at construction (off the per-phase
     /// hot path; lookups during a refresh are one hash per *update*).
@@ -131,6 +144,14 @@ struct NbrTable {
 }
 
 impl NbrTable {
+    /// Starts from *identity knowledge*: every vertex begins in its own
+    /// singleton fragment (`frag[v] = v`), and in CONGEST a vertex's
+    /// neighbor list already names each neighbor's id — so the table
+    /// opens as `frag_at[v][i] = u` and `last_announced[v] = v` with
+    /// zero messages. The historical `2m` opening flood announced
+    /// exactly this (every vertex telling neighbors its own id, which
+    /// they could already read off the edge), so skipping it changes no
+    /// observable state, only the message bill.
     fn new(g: &Graph) -> Self {
         NbrTable {
             slot: (0..g.n())
@@ -143,20 +164,63 @@ impl NbrTable {
                 })
                 .collect(),
             frag_at: (0..g.n())
-                .map(|v| vec![u64::MAX; g.neighbors(v).len()])
+                .map(|v| g.neighbors(v).iter().map(|&(u, _, _)| u as u64).collect())
                 .collect(),
-            last_announced: vec![u64::MAX; g.n()],
+            last_announced: (0..g.n() as u64).collect(),
         }
     }
 
     /// Brings the table up to date with `frag`, charging only changed
-    /// vertices (all of them on the first call).
+    /// vertices — and, per changed vertex, only its *cross-fragment*
+    /// edges.
+    ///
+    /// Relabels are fragment-uniform: every vertex sharing a fragment
+    /// id relabels to the same new id in the same step, and exactly one
+    /// relabel step separates two refreshes. So when `v` moved from
+    /// `old` to `frag[v]`, a neighbor that `v` last saw in `old` made
+    /// the *identical* move and can repair its own table locally —
+    /// each changed vertex rewrites its entries equal to its own old id
+    /// (the "rewrite pass" below) instead of receiving a message. Only
+    /// neighbors `v` last saw in a *different* fragment hold a stale
+    /// entry no local rule can fix; those are the announce targets.
+    /// Received updates and local rewrites touch disjoint slots (a
+    /// neighbor announces to `v` only when their old ids differ, and
+    /// the rewrite touches only entries equal to `v`'s old id), so
+    /// application order is irrelevant.
     fn refresh(&mut self, sim: &mut impl Executor, frag: &[u64]) {
         let last = &self.last_announced;
-        let (heard, _) = sim.run(|v, _| Announce {
-            frag: (frag[v] != last[v]).then(|| frag[v]),
-            heard: Vec::new(),
+        let frag_at = &self.frag_at;
+        // Targets are computed against the pre-rewrite table: entries
+        // still hold what `v` knew at its last announcement.
+        let (heard, _) = sim.run(|v, g| {
+            let announce = (frag[v] != last[v]).then(|| {
+                let old = last[v];
+                let targets = g
+                    .neighbors(v)
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| frag_at[v][i] != old)
+                    .map(|(_, &(u, _, _))| u)
+                    .collect();
+                (frag[v], targets)
+            });
+            Announce {
+                announce,
+                heard: Vec::new(),
+            }
         });
+        // Rewrite pass: a changed vertex repairs same-old-fragment
+        // entries locally (they all made the same move it did).
+        for v in 0..frag.len() {
+            let old = self.last_announced[v];
+            if frag[v] != old {
+                for e in &mut self.frag_at[v] {
+                    if *e == old {
+                        *e = frag[v];
+                    }
+                }
+            }
+        }
         for (v, updates) in heard.into_iter().enumerate() {
             for (u, f) in updates {
                 self.frag_at[v][self.slot[v][&u]] = f;

@@ -27,10 +27,20 @@
 //! engine-identical,
 //! so any diff against `BENCH_engine.json` is a real behavior change —
 //! a silent message-volume or invocation regression fails the PR.
-//! Wall-clock columns (`wall_ms`, `rounds_per_sec`, `msgs_per_sec`,
-//! `speedup_vs_1`) are machine-dependent and never compared. After an
-//! *intentional* change, regenerate the baseline by running `bench`
+//! Wall-clock columns (`wall_ms`, `setup_ms`, `rounds_per_sec`,
+//! `msgs_per_sec`, `speedup_vs_1`) are machine-dependent and never
+//! compared. `setup_ms` is the cumulative executor setup wall (plan +
+//! arena acquisition, program construction) summed across every run
+//! and sub-run of the workload — the floor the run-session layer
+//! amortizes — so its trajectory is visible next to `wall_ms`. After
+//! an *intentional* change, regenerate the baseline by running `bench`
 //! without flags.
+//!
+//! Under `--quick`, each row additionally prints a one-line
+//! setup/deliver/compute/barrier wall breakdown (phase-wall sampling
+//! only — a few clock reads per round, observer-neutral by contract
+//! clause 8), so a regression in the session layer is attributable
+//! without a `--profile` trace.
 //!
 //! **Scaling section.** Every run additionally sweeps one pinned
 //! workload (SLT@64k, or SLT@8k under `--quick`) over
@@ -129,6 +139,11 @@ struct Entry {
     msg_p50: u64,
     msg_p99: u64,
     wall: f64,
+    /// Cumulative executor setup wall (plan + arena acquisition and
+    /// program construction) across every run and sub-run of the
+    /// workload, in seconds — the per-run-setup floor the session layer
+    /// amortizes. Machine-dependent; scrubbed by `--check` like `wall`.
+    setup: f64,
 }
 
 impl Entry {
@@ -137,7 +152,8 @@ impl Entry {
             "    {{\"family\":\"{family}\",\"algorithm\":\"{algorithm}\",\"n\":{n},\"m\":{m},\
              \"seed\":{SEED},\"threads\":{threads},\"rounds\":{rounds},\"messages\":{messages},\
              \"messages_combined\":{combined},\"messages_delivered\":{delivered},\
-             \"wall_ms\":{wall_ms:.1},\"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
+             \"wall_ms\":{wall_ms:.1},\"setup_ms\":{setup_ms:.1},\
+             \"rounds_per_sec\":{rps:.1},\"msgs_per_sec\":{mps:.1},\
              \"invocations\":{inv},\"invocations_dense\":{dense},\
              \"active_peak\":{peak},\"active_mean\":{mean:.3},\
              \"msg_max_node\":{mmn},\"msg_max\":{mm},\"msg_p50\":{p50},\"msg_p99\":{p99},\
@@ -151,6 +167,7 @@ impl Entry {
             combined = self.messages_combined,
             delivered = self.messages_delivered,
             wall_ms = self.wall * 1e3,
+            setup_ms = self.setup * 1e3,
             rps = self.rounds as f64 / self.wall.max(1e-9),
             mps = self.messages_delivered as f64 / self.wall.max(1e-9),
             inv = self.invocations,
@@ -319,6 +336,16 @@ fn main() {
         let mut eng = Engine::with_threads(&g, nthreads);
         eng.set_record_node_stats(true);
         eng.set_trace(trace.clone());
+        // `--quick` is the diagnosable gate: phase-wall sampling (the
+        // cheap slice of metrics recording — clock reads only, no
+        // `O(m)` scans) feeds the breakdown line below. Observer-
+        // neutral (contract clause 8).
+        eng.set_time_phases(quick);
+        // Setup/phase walls accumulate process-wide across every
+        // sub-executor the algorithm spawns; the per-workload numbers
+        // are deltas around the drive.
+        let setup0 = congest::plan::setup_wall_ns();
+        let phase0 = congest::plan::phase_wall_ns();
         let start = Instant::now();
         let (stats, _, metric) = match &trace {
             Some(sink) => {
@@ -332,6 +359,20 @@ fn main() {
         }
         .expect("pinned algorithm");
         let wall = start.elapsed().as_secs_f64();
+        let setup = (congest::plan::setup_wall_ns() - setup0) as f64 / 1e9;
+        if quick {
+            let (d1, c1, b1) = congest::plan::phase_wall_ns();
+            let (d0, c0, b0) = phase0;
+            eprintln!(
+                "bench: {family} {algorithm} n={n} breakdown: setup {:.1}ms, \
+                 deliver {:.1}ms, compute {:.1}ms, barrier {:.1}ms (wall {:.1}ms)",
+                setup * 1e3,
+                (d1 - d0) as f64 / 1e6,
+                (c1 - c0) as f64 / 1e6,
+                (b1 - b0) as f64 / 1e6,
+                wall * 1e3,
+            );
+        }
         let frontier = Executor::frontier_total(&eng);
         let summary = Executor::node_stats(&eng)
             .expect("node stats recorded")
@@ -370,6 +411,7 @@ fn main() {
             msg_p50: summary.msg_p50,
             msg_p99: summary.msg_p99,
             wall,
+            setup,
         }
     };
 
@@ -475,7 +517,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": 4,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
+        "{{\n  \"schema\": 5,\n  \"engine\": \"parallel\",\n  \"note\": \"pinned workload set; \
          invocations_dense = rounds * n is the pre-frontier-scheduling cost; \
          messages_delivered = messages - messages_combined is the post-combining volume; \
          scaling sweeps one workload over thread counts (wall columns are machine-dependent, \

@@ -83,9 +83,11 @@
 //! and [`RunStats`] versus [`congest::Simulator`] across any thread
 //! count, verified by property tests.
 
-use crate::csr::{Csr, DirectedId, ShardLocality};
+use crate::csr::{DirectedId, ShardLocality};
+use crate::plan::{EngineTopo, PlanData};
 use crate::pool::WorkerPool;
 use crate::report::EngineReport;
+use congest::plan::TopoCache;
 use congest::obs::{PhaseWall, RoundTrace};
 use congest::slab::{EdgeQueue, Slab};
 use congest::{
@@ -317,6 +319,14 @@ struct RunArena {
     charged: Vec<bool>,
     touched: Vec<Vec<DirectedId>>,
     states: Vec<ShardState>,
+    /// Per-shard claim epochs (reset to 0 between runs — `O(nshards)`,
+    /// not `O(n)`).
+    claims: Vec<AtomicU64>,
+    /// Record-mode per-directed-edge delivery counters and backlog
+    /// membership flags; kept across runs and fill-reset so recording
+    /// composite workloads stays allocation-free too.
+    per_directed: Vec<u64>,
+    in_backlog: Vec<bool>,
 }
 
 /// Exact per-round accounting a shard writes during a fused block;
@@ -352,13 +362,21 @@ enum Prev {
 /// shard-local. See the module docs for the phase/claim structure.
 pub struct Engine<'g> {
     graph: &'g Graph,
-    csr: Csr,
-    senders: Vec<NodeId>,
-    receivers: Vec<NodeId>,
+    /// Topology-derived structure (CSR, sender/receiver maps, shard
+    /// plans), checked out of the shared session cache — see
+    /// [`crate::plan`]. Shared with every sub-executor.
+    topo: Arc<EngineTopo>,
+    plans: Arc<TopoCache<EngineTopo>>,
+    /// Memo of the last run's shard plan: repeat runs with the same
+    /// `(threads, stress)` skip even the cache lookup.
+    plan: Option<ExecPlan>,
+    plan_builds: u64,
+    setup_total_ns: u64,
     cap: usize,
     max_rounds: u64,
     threads: usize,
     record_metrics: bool,
+    time_phases: bool,
     total: RunStats,
     frontier: FrontierStats,
     last_report: Option<EngineReport>,
@@ -368,6 +386,14 @@ pub struct Engine<'g> {
     pool: Option<Arc<WorkerPool>>,
     stress_seed: Option<u64>,
     arena: RunArena,
+}
+
+/// The engine's per-run plan memo: the cached [`PlanData`] plus the
+/// configuration pair that keys it.
+struct ExecPlan {
+    threads: usize,
+    stress: Option<u64>,
+    data: Arc<PlanData>,
 }
 
 impl<'g> std::fmt::Debug for Engine<'g> {
@@ -398,23 +424,31 @@ impl<'g> Engine<'g> {
     /// # Panics
     /// Panics if `threads == 0`.
     pub fn with_threads(graph: &'g Graph, threads: usize) -> Self {
+        Engine::with_shared_plans(graph, threads, Arc::new(TopoCache::new()))
+    }
+
+    /// Creates an engine sharing an existing plan cache — the
+    /// sub-executor path: every sub-run of a composite algorithm reuses
+    /// the root engine's topology-derived structure.
+    fn with_shared_plans(
+        graph: &'g Graph,
+        threads: usize,
+        plans: Arc<TopoCache<EngineTopo>>,
+    ) -> Self {
         assert!(threads >= 1, "engine needs at least one worker thread");
-        let csr = Csr::new(graph);
-        let senders = (0..csr.directed_len())
-            .map(|d| Csr::sender(graph, d))
-            .collect();
-        let receivers = (0..csr.directed_len())
-            .map(|d| Csr::receiver(graph, d))
-            .collect();
+        let topo = plans.get_or_build(graph, EngineTopo::build);
         Engine {
             graph,
-            csr,
-            senders,
-            receivers,
+            topo,
+            plans,
+            plan: None,
+            plan_builds: 0,
+            setup_total_ns: 0,
             cap: 1,
             max_rounds: 50_000_000,
             threads,
             record_metrics: false,
+            time_phases: false,
             total: RunStats::default(),
             frontier: FrontierStats::default(),
             last_report: None,
@@ -439,6 +473,17 @@ impl<'g> Engine<'g> {
         self.record_metrics = record;
     }
 
+    /// Enables or disables per-phase wall sampling on its own — the
+    /// cheap slice of metrics recording (a few clock reads per round,
+    /// no `O(m)` histogram scans), enough to populate
+    /// [`Engine::wall_total`] and the process-wide breakdown
+    /// accumulators in `congest::plan`. Implied by
+    /// [`Engine::set_record_metrics`] and tracing; observer-neutral
+    /// (contract clause 8).
+    pub fn set_time_phases(&mut self, time: bool) {
+        self.time_phases = time;
+    }
+
     /// Instrumentation from the most recent run, if
     /// [`Engine::set_record_metrics`] was enabled.
     pub fn last_report(&self) -> Option<&EngineReport> {
@@ -452,6 +497,20 @@ impl<'g> Engine<'g> {
     /// unless metrics recording or tracing was enabled.
     pub fn wall_total(&self) -> PhaseWall {
         self.wall_total
+    }
+
+    /// Cumulative wall time this engine spent in per-run setup (plan
+    /// acquisition, arena checkout, program construction) across every
+    /// `run` — the session layer's target. Always measured (two clock
+    /// reads per run); sub-executors accumulate their own.
+    pub fn setup_total_ns(&self) -> u64 {
+        self.setup_total_ns
+    }
+
+    /// How many times this engine actually *built* a shard plan rather
+    /// than reusing a cached one (diagnostics; see `tests/plan_cache`).
+    pub fn plan_builds(&self) -> u64 {
+        self.plan_builds
     }
 
     /// Enables or disables per-node accounting (see
@@ -497,6 +556,7 @@ impl<'g> Engine<'g> {
         P::Output: Send,
         F: FnMut(NodeId, &Graph) -> P,
     {
+        let t_setup = Instant::now();
         let n = self.graph.n();
         let threads = self.threads.clamp(1, n.max(1));
         // Ensure the persistent pool before the long immutable borrows
@@ -507,9 +567,10 @@ impl<'g> Engine<'g> {
         let pool = self.pool.clone();
         let stress = stress_run_seed(self.stress_seed);
         let graph = self.graph;
-        let csr = &self.csr;
-        let senders = &self.senders;
-        let receivers = &self.receivers;
+        let topo = self.topo.clone();
+        let csr = &topo.csr;
+        let senders = &topo.senders;
+        let receivers = &topo.receivers;
         let cap = self.cap;
         let max_rounds = self.max_rounds;
         let record = self.record_metrics;
@@ -525,17 +586,41 @@ impl<'g> Engine<'g> {
                 s.lock().expect("trace sink").begin_run("parallel"),
             )
         });
-        let timed = record || trace_run.is_some();
+        let timed = record || trace_run.is_some() || self.time_phases;
 
-        let shards = plan_shards(graph, threads, stress);
+        // Shard plan (bounds, claim orders, and the shard-locality
+        // metadata backing the clause-9 fusion-eligibility metric):
+        // acquired from the session cache, built at most once per
+        // `(threads, stress)` pair per topology. The memo in
+        // `self.plan` skips even the cache lock on repeat sub-runs.
+        let plan_hit = self
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.threads == threads && p.stress == stress);
+        if !plan_hit {
+            let (data, built) = topo.plan_for(threads, stress, || {
+                let shards = plan_shards(graph, threads, stress);
+                let orders = claim_orders(shards.len(), threads, stress);
+                let loc = ShardLocality::new(graph, &shards);
+                PlanData {
+                    shards,
+                    orders,
+                    loc,
+                }
+            });
+            self.plan_builds += u64::from(built);
+            self.plan = Some(ExecPlan {
+                threads,
+                stress,
+                data,
+            });
+        }
+        let plan = &self.plan.as_ref().expect("plan just ensured").data;
+        let shards = &plan.shards;
         let nshards = shards.len();
-        let orders = claim_orders(nshards, threads, stress);
-        // Shard-locality metadata: which shard owns each node, and how
-        // many intra-shard hops separate it from the nearest boundary —
-        // the fusion-eligibility metric (clause 9).
-        let loc = ShardLocality::new(graph, &shards);
-        let shard_of = &loc.shard_of;
-        let dist = &loc.dist_to_boundary;
+        let orders = &plan.orders;
+        let shard_of = &plan.loc.shard_of;
+        let dist = &plan.loc.dist_to_boundary;
 
         // `make` runs on the calling thread, in node order (contract).
         let mut programs: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
@@ -558,21 +643,31 @@ impl<'g> Engine<'g> {
             run_arena.slabs = (0..nshards * nshards).map(|_| Slab::new()).collect();
             run_arena.touched = vec![Vec::new(); nshards * nshards];
             run_arena.states = (0..nshards).map(|_| ShardState::default()).collect();
+            run_arena.claims = (0..nshards).map(|_| AtomicU64::new(0)).collect();
+        } else {
+            for c in &run_arena.claims {
+                c.store(0, Ordering::Relaxed);
+            }
         }
         debug_assert!(run_arena.heads.iter().all(EdgeQueue::is_empty));
-        let mut per_directed: Vec<u64> = if record {
-            vec![0; csr.directed_len()]
-        } else {
-            Vec::new()
-        };
-        // Record-mode only: membership flags for each sender's backlog
-        // list of possibly-non-empty own out-queues, so the per-round
-        // depth histogram scans the backlog instead of all `2m` queues.
-        let mut in_backlog: Vec<bool> = if record {
-            vec![false; csr.directed_len()]
-        } else {
-            Vec::new()
-        };
+        // Record-mode only: per-directed delivery counters, plus
+        // membership flags for each sender's backlog list of
+        // possibly-non-empty own out-queues, so the per-round depth
+        // histogram scans the backlog instead of all `2m` queues.
+        // Fill-reset in the persistent arena, not reallocated.
+        if record {
+            run_arena.per_directed.clear();
+            run_arena.per_directed.resize(csr.directed_len(), 0);
+            run_arena.in_backlog.clear();
+            run_arena.in_backlog.resize(csr.directed_len(), false);
+        }
+
+        // Everything up to here — plan acquisition, arena checkout,
+        // program construction — is the per-run setup the session layer
+        // amortizes; the workers below are the run proper.
+        let setup_ns = t_setup.elapsed().as_nanos() as u64;
+        self.setup_total_ns += setup_ns;
+        congest::plan::add_setup_ns(setup_ns);
 
         let mut stats = RunStats::default();
         let run_frontier;
@@ -588,16 +683,17 @@ impl<'g> Engine<'g> {
             let charged_sh = SharedSlice::new(&mut run_arena.charged);
             let touched_sh = SharedSlice::new(&mut run_arena.touched);
             let states_sh = SharedSlice::new(&mut run_arena.states);
-            let per_directed_sh = SharedSlice::new(&mut per_directed);
-            let in_backlog_sh = SharedSlice::new(&mut in_backlog);
+            let per_directed_sh = SharedSlice::new(&mut run_arena.per_directed);
+            let in_backlog_sh = SharedSlice::new(&mut run_arena.in_backlog);
             let ns_sent_sh = SharedSlice::new(&mut node_stats.sent);
             let ns_delivered_sh = SharedSlice::new(&mut node_stats.delivered);
             let ns_invocations_sh = SharedSlice::new(&mut node_stats.invocations);
             // Per-shard claim epochs: a worker owns shard `s` for phase
             // `p` iff it wins `claims[s]: p-1 → p`. Every worker walks
             // all shards each phase, so every shard is claimed exactly
-            // once per phase regardless of worker interleaving.
-            let claims: Vec<AtomicU64> = (0..nshards).map(|_| AtomicU64::new(0)).collect();
+            // once per phase regardless of worker interleaving. The
+            // counters live in the arena (reset above), not per run.
+            let claims: &[AtomicU64] = &run_arena.claims;
             let pending = AtomicI64::new(0);
             // Count of non-quiescent programs; replaces the old
             // every-node `is_quiescent` sweep. Updated incrementally by
@@ -1355,6 +1451,13 @@ impl<'g> Engine<'g> {
             self.node_stats = Some(node_stats);
         }
         self.wall_total.absorb(run_wall);
+        if timed {
+            congest::plan::add_phase_wall_ns(
+                run_wall.deliver_ns,
+                run_wall.compute_ns,
+                run_wall.barrier_ns,
+            );
+        }
 
         if livelocked {
             panic!("CONGEST run exceeded {max_rounds} rounds — livelocked program?");
@@ -1380,7 +1483,7 @@ impl<'g> Engine<'g> {
                 messages_per_round,
                 max_queue_depth_per_round,
                 active_per_round,
-                hot_edges: EngineReport::rank_hot_edges(&per_directed),
+                hot_edges: EngineReport::rank_hot_edges(&self.arena.per_directed),
                 threads,
                 wall: run_wall,
             });
@@ -1395,10 +1498,13 @@ impl<'g> Executor for Engine<'g> {
     type Sub<'h> = Engine<'h>;
 
     fn sub<'h>(&self, graph: &'h Graph) -> Engine<'h> {
-        let mut sub = Engine::with_threads(graph, self.threads);
+        // Sub-executors share the session plan cache: a derived graph
+        // seen before (same topology) skips CSR/shard-plan rebuilds.
+        let mut sub = Engine::with_shared_plans(graph, self.threads, self.plans.clone());
         sub.cap = self.cap;
         sub.max_rounds = self.max_rounds;
         sub.record_metrics = self.record_metrics;
+        sub.time_phases = self.time_phases;
         if self.node_stats.is_some() {
             sub.set_record_node_stats(true);
         }

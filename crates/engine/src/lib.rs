@@ -38,6 +38,7 @@ pub mod report;
 pub mod scenario;
 
 mod engine;
+mod plan;
 
 pub use engine::Engine;
 pub use report::EngineReport;
